@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation — one-point vs uniform crossover (§III.A).
+ *
+ * The paper prefers one-point crossover because it preserves parental
+ * instruction order, which matters for power and dI/dt searches. This
+ * bench runs both operators with identical budgets on two searches and
+ * compares final fitness and convergence speed.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "fitness/fitness.hh"
+
+using namespace gest;
+
+namespace {
+
+struct Outcome
+{
+    double finalFitness = 0.0;
+    int generationsTo95Pct = -1;
+};
+
+Outcome
+runSearch(const std::shared_ptr<const platform::Platform>& plat,
+          bench::Target target, core::CrossoverOperator crossover,
+          int individual_size, const bench::Scale& scale,
+          std::uint64_t seed)
+{
+    core::GaParams params =
+        bench::virusParams(individual_size, scale, seed);
+    params.crossover = crossover;
+    const core::Individual best =
+        bench::evolveVirus(plat, target, params);
+
+    // Re-run to recover history (evolveVirus is deterministic).
+    const auto& lib = plat->library();
+    std::unique_ptr<measure::Measurement> meas;
+    if (target == bench::Target::Power)
+        meas = std::make_unique<measure::SimPowerMeasurement>(lib, plat);
+    else
+        meas = std::make_unique<measure::SimVoltageNoiseMeasurement>(
+            lib, plat);
+    fitness::DefaultFitness fit;
+    core::Engine engine(params, lib, *meas, fit);
+    engine.run();
+
+    Outcome outcome;
+    outcome.finalFitness = engine.bestEver().fitness;
+    const double threshold = outcome.finalFitness * 0.95;
+    for (const core::GenerationRecord& rec : engine.history()) {
+        if (rec.bestFitness >= threshold) {
+            outcome.generationsTo95Pct = rec.generation;
+            break;
+        }
+    }
+    (void)best;
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv({40, 40});
+    bench::printHeader("Ablation",
+                       "one-point vs uniform crossover (paper "
+                       "prefers one-point)",
+                       scale);
+
+    struct Case
+    {
+        const char* name;
+        std::shared_ptr<const platform::Platform> plat;
+        bench::Target target;
+        int size;
+    };
+    const Case cases[] = {
+        {"A15 power search", platform::cortexA15Platform(),
+         bench::Target::Power, 50},
+        {"Athlon dI/dt search", platform::athlonX4Platform(),
+         bench::Target::VoltageNoise, 47},
+    };
+
+    std::printf("%-22s %-10s %14s %18s\n", "search", "crossover",
+                "final_fitness", "gens_to_95pct");
+    for (const Case& c : cases) {
+        double one_point_fitness = 0.0;
+        double uniform_fitness = 0.0;
+        for (auto op : {core::CrossoverOperator::OnePoint,
+                        core::CrossoverOperator::Uniform}) {
+            // Average over three seeds to damp GA noise.
+            double fitness_sum = 0.0;
+            double gens_sum = 0.0;
+            for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+                const Outcome outcome = runSearch(
+                    c.plat, c.target, op, c.size, scale, seed);
+                fitness_sum += outcome.finalFitness;
+                gens_sum += outcome.generationsTo95Pct;
+            }
+            std::printf("%-22s %-10s %14.4f %18.1f\n", c.name,
+                        core::toString(op), fitness_sum / 3.0,
+                        gens_sum / 3.0);
+            if (op == core::CrossoverOperator::OnePoint)
+                one_point_fitness = fitness_sum / 3.0;
+            else
+                uniform_fitness = fitness_sum / 3.0;
+        }
+        std::printf("  -> one-point/uniform final fitness: %.3f "
+                    "(paper: one-point converges faster by "
+                    "preserving instruction order)\n",
+                    one_point_fitness / uniform_fitness);
+    }
+    return 0;
+}

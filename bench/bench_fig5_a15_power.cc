@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 5 — Cortex-A15 power results, normalized to coremark.
+ *
+ * Series: the A15 GA power virus, the hand-written A15 stress-test, the
+ * A7 GA virus run on the A15 (cross-virus transfer), and the bare-metal
+ * benchmarks coremark / imdct / fdct. Paper shape: the GA virus is the
+ * highest bar, above the manual stress-test by >= 10%, and the A7 virus
+ * is a mediocre A15 stressor.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+
+using namespace gest;
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Figure 5",
+                       "Cortex-A15 power, normalized to coremark",
+                       scale);
+
+    const auto a15 = platform::cortexA15Platform();
+    const auto& lib = a15->library();
+
+    const core::Individual virus15 = bench::a15PowerVirus(scale);
+    const core::Individual virus7 = bench::a7PowerVirus(scale);
+
+    struct Row
+    {
+        std::string name;
+        double watts;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"A15_GA_virus",
+                    a15->evaluate(virus15.code, lib).chipPowerWatts});
+    rows.push_back({"A7_GA_virus(cross)",
+                    a15->evaluate(virus7.code, lib).chipPowerWatts});
+    for (const auto& w : workloads::armBareMetalBaselines(lib)) {
+        if (w.name == "A7manual_stress_test")
+            continue; // Figure 5 shows the A15's own manual test
+        rows.push_back({w.name,
+                        a15->evaluate(w.code, lib).chipPowerWatts});
+    }
+
+    const double coremark =
+        std::find_if(rows.begin(), rows.end(), [](const Row& row) {
+            return row.name == "coremark";
+        })->watts;
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.watts > b.watts; });
+    std::printf("%-26s %8s %-4s  %5s\n", "workload", "power", "", "rel");
+    for (const Row& row : rows)
+        bench::printBar(row.name, row.watts, coremark, "W");
+
+    const double ga = rows.front().watts;
+    double manual = 0.0;
+    double cross = 0.0;
+    for (const Row& row : rows) {
+        if (row.name == "A15manual_stress_test")
+            manual = row.watts;
+        if (row.name == "A7_GA_virus(cross)")
+            cross = row.watts;
+    }
+    bench::printNote("");
+    std::printf("shape checks: GA virus is top bar: %s; "
+                "GA/manual = %.3f (paper: >= 1.10); "
+                "cross A7 virus weaker than A15 virus: %s\n",
+                rows.front().name == "A15_GA_virus" ? "yes" : "NO",
+                manual > 0 ? ga / manual : 0.0,
+                cross < ga ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 6 — Cortex-A7 power results, normalized to coremark.
+ *
+ * Paper shape: the A7 GA virus leads, above the hand-written A7
+ * stress-test, and the A15 virus transfers poorly onto the little core.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+
+using namespace gest;
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Figure 6",
+                       "Cortex-A7 power, normalized to coremark", scale);
+
+    const auto a7 = platform::cortexA7Platform();
+    const auto& lib = a7->library();
+
+    const core::Individual virus7 = bench::a7PowerVirus(scale);
+    const core::Individual virus15 = bench::a15PowerVirus(scale);
+
+    struct Row
+    {
+        std::string name;
+        double watts;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"A7_GA_virus",
+                    a7->evaluate(virus7.code, lib).chipPowerWatts});
+    rows.push_back({"A15_GA_virus(cross)",
+                    a7->evaluate(virus15.code, lib).chipPowerWatts});
+    for (const auto& w : workloads::armBareMetalBaselines(lib)) {
+        if (w.name == "A15manual_stress_test")
+            continue; // Figure 6 shows the A7's own manual test
+        rows.push_back({w.name,
+                        a7->evaluate(w.code, lib).chipPowerWatts});
+    }
+
+    const double coremark =
+        std::find_if(rows.begin(), rows.end(), [](const Row& row) {
+            return row.name == "coremark";
+        })->watts;
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.watts > b.watts; });
+    std::printf("%-26s %8s %-4s  %5s\n", "workload", "power", "", "rel");
+    for (const Row& row : rows)
+        bench::printBar(row.name, row.watts, coremark, "W");
+
+    const double ga = rows.front().watts;
+    double manual = 0.0;
+    double cross = 0.0;
+    for (const Row& row : rows) {
+        if (row.name == "A7manual_stress_test")
+            manual = row.watts;
+        if (row.name == "A15_GA_virus(cross)")
+            cross = row.watts;
+    }
+    bench::printNote("");
+    std::printf("shape checks: GA virus is top bar: %s; "
+                "GA/manual = %.3f (paper: >= 1.10); "
+                "cross A15 virus weaker than A7 virus: %s\n",
+                rows.front().name == "A7_GA_virus" ? "yes" : "NO",
+                manual > 0 ? ga / manual : 0.0,
+                cross < ga ? "yes" : "NO");
+    return 0;
+}

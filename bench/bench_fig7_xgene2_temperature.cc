@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 7 — X-Gene2 chip temperature, normalized to bodytrack.
+ *
+ * Series: the GA power (temperature) virus, the GA IPC virus, and the
+ * Parsec/NAS baselines. Paper shape: powerVirus is the hottest bar,
+ * IPCvirus close behind, all baselines lower.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+
+using namespace gest;
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Figure 7",
+                       "X-Gene2 chip temperature, normalized to "
+                       "bodytrack",
+                       scale);
+
+    const auto plat = platform::xgene2Platform();
+    const auto& lib = plat->library();
+
+    const core::Individual power_virus = bench::xgene2PowerVirus(scale);
+    const core::Individual ipc_virus = bench::xgene2IpcVirus(scale);
+
+    struct Row
+    {
+        std::string name;
+        double temp;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"powerVirus",
+                    plat->evaluate(power_virus.code, lib).dieTempC});
+    rows.push_back({"IPCvirus",
+                    plat->evaluate(ipc_virus.code, lib).dieTempC});
+    for (const auto& w : workloads::serverBaselines(lib))
+        rows.push_back({w.name, plat->evaluate(w.code, lib).dieTempC});
+
+    const double bodytrack =
+        std::find_if(rows.begin(), rows.end(), [](const Row& row) {
+            return row.name == "bodytrack";
+        })->temp;
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.temp > b.temp; });
+    std::printf("%-26s %8s %-4s  %5s\n", "workload", "temp", "", "rel");
+    for (const Row& row : rows)
+        bench::printBar(row.name, row.temp, bodytrack, "C");
+    std::printf("%-26s %8.3f %-4s\n", "(idle)", plat->idleTempC(), "C");
+
+    double ipc_temp = 0.0;
+    for (const Row& row : rows) {
+        if (row.name == "IPCvirus")
+            ipc_temp = row.temp;
+    }
+    bench::printNote("");
+    std::printf("shape checks: powerVirus is the hottest: %s; "
+                "IPCvirus raises temperature high but below "
+                "powerVirus: %s\n",
+                rows.front().name == "powerVirus" ? "yes" : "NO",
+                ipc_temp < rows.front().temp &&
+                        ipc_temp > bodytrack
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 9 — V_MIN per workload on the AMD Athlon system.
+ *
+ * The paper characterizes each workload's V_MIN by lowering the supply
+ * in 12.5 mV steps at a fixed 3.1 GHz until execution fails. Here the
+ * failure criterion is the die voltage dipping below the critical
+ * timing voltage. Paper shape: the dI/dt virus has the highest V_MIN
+ * (it fails first), above the AMD stability test and Prime95; plain
+ * benchmarks tolerate the lowest voltages.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "arch/simulator.hh"
+#include "common.hh"
+#include "power/power_model.hh"
+
+using namespace gest;
+
+namespace {
+
+std::vector<double>
+chipCurrentFor(const std::shared_ptr<const platform::Platform>& plat,
+               const std::vector<isa::InstructionInstance>& code)
+{
+    const auto& lib = plat->library();
+    arch::LoopSimulator sim(plat->cpu(), plat->initState());
+    const arch::SimResult result =
+        sim.runForCycles(arch::decodeBody(lib, code), 8192);
+    const power::PowerModel model(plat->energy(), plat->cpu().freqGHz);
+    const platform::Evaluation eval = plat->evaluate(code, lib);
+    const power::PowerTrace trace =
+        model.trace(result, plat->chip().vdd, eval.dieTempC);
+    return plat->chipCurrent(trace);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Figure 9",
+                       "V_MIN per workload, 12.5 mV steps @ 3.1 GHz",
+                       scale);
+
+    const auto plat = platform::athlonX4Platform();
+    const auto& lib = plat->library();
+    const pdn::PdnModel& pdn_model = *plat->pdnModel();
+
+    pdn::VminConfig vcfg;
+    vcfg.vNominal = plat->chip().vdd;
+    vcfg.vCritical = 1.150;
+    vcfg.stepVolts = 0.0125;
+    const pdn::VminModel vmin(pdn_model, vcfg);
+
+    const core::Individual virus = bench::athlonDidtVirus(scale);
+
+    struct Row
+    {
+        std::string name;
+        double vmin;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"dIdt_GA_virus",
+                    vmin.characterize(chipCurrentFor(plat, virus.code),
+                                      plat->cpu().freqGHz)});
+    for (const auto& w : workloads::x86Baselines(lib))
+        rows.push_back({w.name,
+                        vmin.characterize(chipCurrentFor(plat, w.code),
+                                          plat->cpu().freqGHz)});
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.vmin > b.vmin; });
+    std::printf("%-26s %8s    (supply steps below nominal %.3f V)\n",
+                "workload", "V_MIN", vcfg.vNominal);
+    for (const Row& row : rows) {
+        const int steps = static_cast<int>(
+            (vcfg.vNominal - row.vmin) / vcfg.stepVolts + 0.5);
+        std::printf("%-26s %7.4f V   -%d steps\n", row.name.c_str(),
+                    row.vmin, steps);
+    }
+
+    double stability = 0.0;
+    double prime95 = 0.0;
+    for (const Row& row : rows) {
+        if (row.name == "amd_stability_test")
+            stability = row.vmin;
+        if (row.name == "prime95")
+            prime95 = row.vmin;
+    }
+    bench::printNote("");
+    std::printf("shape checks: dIdt virus has the highest V_MIN: %s; "
+                "above the AMD stability test (%.4f vs %.4f): %s; "
+                "above Prime95 (%.4f): %s\n",
+                rows.front().name == "dIdt_GA_virus" ? "yes" : "NO",
+                rows.front().vmin, stability,
+                rows.front().vmin > stability ? "yes" : "NO", prime95,
+                rows.front().vmin > prime95 ? "yes" : "NO");
+    return 0;
+}

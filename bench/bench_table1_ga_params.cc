@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table I — GA parameters and their default values, plus the derived
+ * rules of thumb (§III.A): the mutation-rate rule and the dI/dt
+ * loop-length rule.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace gest;
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Table I", "GA parameters (defaults)", scale);
+
+    core::GaParams params;
+    params.validate();
+    std::printf("%-42s %s\n", "Parameter", "Default Value");
+    std::printf("%-42s %d\n", "population_size", params.populationSize);
+    std::printf("%-42s 15-50 (default %d)\n",
+                "Individual Size (loop instructions)",
+                params.individualSize);
+    std::printf("%-42s 0.02-0.08 (default %.2f)\n", "mutation_rate",
+                params.mutationRate);
+    std::printf("%-42s %s\n", "crossover_operator",
+                core::toString(params.crossover));
+    std::printf("%-42s %s\n", "elitism (best promoted)",
+                params.elitism ? "TRUE" : "FALSE");
+    std::printf("%-42s %s\n", "parent_selection_method",
+                core::toString(params.selection));
+    std::printf("%-42s %d\n", "tournament_size", params.tournamentSize);
+
+    bench::printNote("");
+    bench::printNote("Rules of thumb (paper §III.A):");
+    std::printf("  mutation rate for 50-instruction loops: %.3f "
+                "(paper: 0.02)\n",
+                core::GaParams::mutationRateForSize(50));
+    std::printf("  mutation rate for 15-instruction loops: %.3f "
+                "(paper: 0.08)\n",
+                core::GaParams::mutationRateForSize(15));
+    std::printf("  dI/dt loop length, IPC=1.5 @3.1GHz, 100MHz "
+                "resonance: %d instructions (in the paper's 15-50 "
+                "band)\n",
+                core::GaParams::didtLoopLength(1.5, 3.1, 100e6));
+    return 0;
+}

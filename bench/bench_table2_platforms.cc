@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table II — the experimental platforms, as modelled: core counts,
+ * environments, stress-tests developed and measurement instruments
+ * (here: the simulated instrument substituting for each).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace gest;
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Table II", "Experimental platform models", scale);
+
+    std::printf("%-12s %-6s %-11s %-26s %s\n", "CPU", "Cores",
+                "Freq (GHz)", "Stress-test developed",
+                "Measurement instrument (modelled)");
+    struct Row
+    {
+        const char* name;
+        const char* virus;
+        const char* instrument;
+    };
+    const Row rows[] = {
+        {"cortex-a15", "power-virus",
+         "ARM energy probe -> activity-based power model"},
+        {"cortex-a7", "power-virus",
+         "ARM energy probe -> activity-based power model"},
+        {"xgene2", "power-virus and IPC virus",
+         "i2c temp sensor -> RC thermal ladder; perf -> sim IPC"},
+        {"athlon-x4", "dI/dt virus",
+         "oscilloscope on sense pads -> RLC PDN model"},
+    };
+    for (const Row& row : rows) {
+        const auto plat = platform::Platform::byName(row.name);
+        std::printf("%-12s %-6d %-11.2f %-26s %s\n",
+                    plat->name().c_str(), plat->chip().numCores,
+                    plat->cpu().freqGHz, row.virus, row.instrument);
+    }
+
+    bench::printNote("");
+    bench::printNote("Derived platform characteristics:");
+    for (const std::string& name : platform::Platform::presetNames()) {
+        const auto plat = platform::Platform::byName(name);
+        std::printf("  %-12s idle die temp %5.1f C, Vdd %.2f V, "
+                    "TJmax %5.1f C, %s\n",
+                    name.c_str(), plat->idleTempC(), plat->chip().vdd,
+                    plat->chip().tjMaxC,
+                    plat->pdnModel()
+                        ? "PDN instrumented (voltage-sense pads)"
+                        : "no voltage instrumentation");
+    }
+    if (const auto* pdn = platform::athlonX4Platform()->pdnModel()) {
+        std::printf("  athlon PDN: resonance %.1f MHz, Q %.2f, "
+                    "R %.2f mOhm\n",
+                    pdn->config().resonanceHz() / 1e6,
+                    pdn->config().qFactor(),
+                    pdn->config().resistanceOhm * 1e3);
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table III — instruction breakdown of the Cortex-A15 and Cortex-A7
+ * power viruses (ShortInt / LongInt / Float-SIMD / Mem / Branch out of
+ * 50 loop instructions).
+ *
+ * Paper row A15: 4 / 5 / 22 / 18 / 1. Paper row A7: 8 / 6 / 16 / 10 /
+ * 10. The qualitative claims to reproduce: Float/SIMD dominates both;
+ * the A7 virus needs many branches while the A15 virus keeps about one;
+ * the A7 virus prefers slightly shorter-latency integer work.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace gest;
+
+namespace {
+
+void
+printRow(const char* name, const isa::InstructionLibrary& lib,
+         const core::Individual& virus)
+{
+    const auto b = core::classBreakdown(lib, virus);
+    int total = 0;
+    for (int count : b)
+        total += count;
+    // Count NOPs into the short-integer column the way the paper's
+    // five-column breakdown would.
+    std::printf("%-12s %8d %8d %10d %5d %7d %14d\n", name,
+                b[0] + b[5], b[1], b[2], b[3], b[4], total);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader(
+        "Table III",
+        "Instruction breakdown of the A15 and A7 power viruses", scale);
+
+    const core::Individual virus15 = bench::a15PowerVirus(scale);
+    const core::Individual virus7 = bench::a7PowerVirus(scale);
+
+    std::printf("%-12s %8s %8s %10s %5s %7s %14s\n", "GA virus",
+                "ShortInt", "LongInt", "Float/SIMD", "Mem", "Branch",
+                "TotalLoopInstr");
+    const auto a15 = platform::cortexA15Platform();
+    const auto a7 = platform::cortexA7Platform();
+    printRow("Cortex-A15", a15->library(), virus15);
+    printRow("Cortex-A7", a7->library(), virus7);
+    std::printf("%-12s %8d %8d %10d %5d %7d %14d   (paper)\n",
+                "Cortex-A15", 4, 5, 22, 18, 1, 50);
+    std::printf("%-12s %8d %8d %10d %5d %7d %14d   (paper)\n",
+                "Cortex-A7", 8, 6, 16, 10, 10, 50);
+
+    const auto b15 = core::classBreakdown(a15->library(), virus15);
+    const auto b7 = core::classBreakdown(a7->library(), virus7);
+    const int fp15 = b15[2];
+    const int fp7 = b7[2];
+    const int br15 = b15[4];
+    const int br7 = b7[4];
+    bench::printNote("");
+    std::printf("shape checks: Float/SIMD largest A15 class: %s; "
+                "A7 uses many branches (%d) vs A15 (%d): %s; "
+                "FP present on both (%d, %d)\n",
+                fp15 >= b15[0] && fp15 >= b15[1] && fp15 >= b15[4]
+                    ? "yes"
+                    : "NO",
+                br7, br15, br7 > br15 + 4 ? "yes" : "NO", fp15, fp7);
+    return 0;
+}

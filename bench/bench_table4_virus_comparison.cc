@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table IV — power virus vs simple power virus (Equation 1) vs IPC
+ * virus on the X-Gene2: instruction breakdown, relative IPC, relative
+ * power, relative chip temperature and unique-instruction count.
+ *
+ * Paper rows (relative to powerVirus):
+ *   powerVirus        1.00 IPC, 1.00 power, 1.00 temp, 21 unique
+ *   powerVirusSimple  0.94 IPC, 0.99 power, 1.00 temp, 13 unique
+ *   IPCvirus          1.12 IPC, 0.88 power, 0.94 temp, 13 unique
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace gest;
+
+int
+main()
+{
+    setQuiet(true);
+    const bench::Scale scale = bench::scaleFromEnv();
+    bench::printHeader("Table IV",
+                       "powerVirus vs powerVirusSimple vs IPCvirus "
+                       "(X-Gene2)",
+                       scale);
+
+    const auto plat = platform::xgene2Platform();
+    const auto& lib = plat->library();
+
+    const core::Individual power_virus = bench::xgene2PowerVirus(scale);
+    const core::Individual simple_virus =
+        bench::xgene2SimplePowerVirus(scale);
+    const core::Individual ipc_virus = bench::xgene2IpcVirus(scale);
+
+    const platform::Evaluation e_power =
+        plat->evaluate(power_virus.code, lib);
+    const platform::Evaluation e_simple =
+        plat->evaluate(simple_virus.code, lib);
+    const platform::Evaluation e_ipc =
+        plat->evaluate(ipc_virus.code, lib);
+
+    auto print_row = [&](const char* name, const core::Individual& virus,
+                         const platform::Evaluation& eval) {
+        const auto b = core::classBreakdown(lib, virus);
+        std::printf("%-18s %8d %8d %10d %4d %7d | %8.2f %9.2f %9.2f "
+                    "| %7zu\n",
+                    name, b[0] + b[5], b[1], b[2], b[3], b[4],
+                    eval.ipc / e_power.ipc,
+                    eval.chipPowerWatts / e_power.chipPowerWatts,
+                    eval.dieTempC / e_power.dieTempC,
+                    core::uniqueInstructionCount(virus));
+    };
+
+    std::printf("%-18s %8s %8s %10s %4s %7s | %8s %9s %9s | %7s\n",
+                "GA virus", "ShortInt", "LongInt", "Float/SIMD", "Mem",
+                "Branch", "rel.IPC", "rel.Power", "rel.Temp", "unique");
+    print_row("powerVirus", power_virus, e_power);
+    print_row("powerVirusSimple", simple_virus, e_simple);
+    print_row("IPCvirus", ipc_virus, e_ipc);
+    bench::printNote("(rel.Temp is the absolute chip-temperature "
+                     "ratio, like the paper's; paper: 1.00 / 1.00 / "
+                     "0.94)");
+
+    bench::printNote("");
+    std::printf(
+        "shape checks: IPCvirus IPC above powerVirus (%.2fx, paper "
+        "1.12x): %s; IPCvirus power below powerVirus (%.2fx, paper "
+        "0.88x): %s; simple virus keeps temperature (%.2fx, paper "
+        "1.00x): %s; simple virus uses fewer unique instructions "
+        "(%zu vs %zu, paper 13 vs 21): %s\n",
+        e_ipc.ipc / e_power.ipc,
+        e_ipc.ipc > e_power.ipc ? "yes" : "NO",
+        e_ipc.chipPowerWatts / e_power.chipPowerWatts,
+        e_ipc.chipPowerWatts < e_power.chipPowerWatts ? "yes" : "NO",
+        e_simple.dieTempC / e_power.dieTempC,
+        e_simple.dieTempC > e_power.dieTempC * 0.95 ? "yes" : "NO",
+        core::uniqueInstructionCount(simple_virus),
+        core::uniqueInstructionCount(power_virus),
+        core::uniqueInstructionCount(simple_virus) <
+                core::uniqueInstructionCount(power_virus)
+            ? "yes"
+            : "NO");
+    return 0;
+}

@@ -1,0 +1,152 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace bench {
+
+Scale
+scaleFromEnv(Scale defaults)
+{
+    Scale scale = defaults;
+    if (const char* pop = std::getenv("GEST_BENCH_POP"))
+        scale.population = std::atoi(pop);
+    if (const char* gens = std::getenv("GEST_BENCH_GENS"))
+        scale.generations = std::atoi(gens);
+    if (scale.population < 2 || scale.generations < 1)
+        fatal("bad GEST_BENCH_POP/GEST_BENCH_GENS values");
+    return scale;
+}
+
+core::GaParams
+virusParams(int individual_size, const Scale& scale, std::uint64_t seed)
+{
+    core::GaParams params;
+    params.populationSize = scale.population;
+    params.individualSize = individual_size;
+    params.mutationRate =
+        core::GaParams::mutationRateForSize(individual_size);
+    params.generations = scale.generations;
+    params.tournamentSize = 5;
+    params.seed = seed;
+    return params;
+}
+
+core::Individual
+evolveVirus(const std::shared_ptr<const platform::Platform>& plat,
+            Target target, const core::GaParams& params)
+{
+    const isa::InstructionLibrary& lib = plat->library();
+    std::unique_ptr<measure::Measurement> meas;
+    switch (target) {
+      case Target::Power:
+        meas = std::make_unique<measure::SimPowerMeasurement>(lib, plat);
+        break;
+      case Target::Temperature:
+        meas = std::make_unique<measure::SimTemperatureMeasurement>(lib,
+                                                                    plat);
+        break;
+      case Target::Ipc:
+        meas = std::make_unique<measure::SimIpcMeasurement>(lib, plat);
+        break;
+      case Target::VoltageNoise:
+        meas = std::make_unique<measure::SimVoltageNoiseMeasurement>(
+            lib, plat);
+        break;
+    }
+    fitness::DefaultFitness fit;
+    core::Engine engine(params, lib, *meas, fit);
+    engine.run();
+    return engine.bestEver();
+}
+
+core::Individual
+a15PowerVirus(const Scale& scale)
+{
+    return evolveVirus(platform::cortexA15Platform(), Target::Power,
+                       virusParams(50, scale, 1001));
+}
+
+core::Individual
+a7PowerVirus(const Scale& scale)
+{
+    return evolveVirus(platform::cortexA7Platform(), Target::Power,
+                       virusParams(50, scale, 1002));
+}
+
+core::Individual
+xgene2PowerVirus(const Scale& scale)
+{
+    return evolveVirus(platform::xgene2Platform(), Target::Temperature,
+                       virusParams(50, scale, 1003));
+}
+
+core::Individual
+xgene2IpcVirus(const Scale& scale)
+{
+    return evolveVirus(platform::xgene2Platform(), Target::Ipc,
+                       virusParams(50, scale, 1004));
+}
+
+core::Individual
+xgene2SimplePowerVirus(const Scale& scale)
+{
+    const auto plat = platform::xgene2Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    measure::SimTemperatureMeasurement meas(lib, plat);
+    fitness::TemperatureSimplicityFitness fit(plat->idleTempC(),
+                                              plat->chip().tjMaxC);
+    core::Engine engine(virusParams(50, scale, 1005), lib, meas, fit);
+    engine.run();
+    return engine.bestEver();
+}
+
+core::Individual
+athlonDidtVirus(const Scale& scale)
+{
+    const auto plat = platform::athlonX4Platform();
+    const int loop_len = core::GaParams::didtLoopLength(
+        1.5, plat->cpu().freqGHz,
+        plat->pdnModel()->config().resonanceHz());
+    return evolveVirus(plat, Target::VoltageNoise,
+                       virusParams(loop_len, scale, 1006));
+}
+
+void
+printHeader(const std::string& experiment,
+            const std::string& description, const Scale& scale)
+{
+    std::printf("================================================"
+                "======================\n");
+    std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+    std::printf("GA scale: population=%d generations=%d "
+                "(override with GEST_BENCH_POP / GEST_BENCH_GENS)\n",
+                scale.population, scale.generations);
+    std::printf("------------------------------------------------"
+                "----------------------\n");
+}
+
+void
+printBar(const std::string& name, double value, double baseline,
+         const std::string& unit)
+{
+    const double relative = baseline != 0.0 ? value / baseline : 0.0;
+    const int width = static_cast<int>(relative * 40.0);
+    std::string bar;
+    for (int i = 0; i < width && i < 70; ++i)
+        bar += '#';
+    std::printf("%-26s %8.3f %-4s  %5.3f  %s\n", name.c_str(), value,
+                unit.c_str(), relative, bar.c_str());
+}
+
+void
+printNote(const std::string& text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace gest

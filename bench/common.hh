@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared harness code for the figure/table reproduction binaries.
+ *
+ * Every bench binary regenerates one table or figure of the paper. The
+ * GA scale (population, generations) defaults to a converged-but-quick
+ * setting and can be raised to the paper's full scale through the
+ * GEST_BENCH_POP / GEST_BENCH_GENS environment variables.
+ */
+
+#ifndef GEST_BENCH_COMMON_HH
+#define GEST_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "measure/sim_measurements.hh"
+#include "platform/platform.hh"
+#include "workloads/workloads.hh"
+
+namespace gest {
+namespace bench {
+
+/** GA scale knobs, overridable from the environment. */
+struct Scale
+{
+    int population = 50;
+    int generations = 60;
+};
+
+/** Read GEST_BENCH_POP / GEST_BENCH_GENS (falling back to defaults). */
+Scale scaleFromEnv(Scale defaults = {});
+
+/** The metric a virus search optimizes. */
+enum class Target
+{
+    Power,
+    Temperature,
+    Ipc,
+    VoltageNoise,
+};
+
+/** GaParams preset for one virus search (paper Table I defaults). */
+core::GaParams virusParams(int individual_size, const Scale& scale,
+                           std::uint64_t seed);
+
+/**
+ * Run one GA virus search against a platform.
+ *
+ * Seeds are fixed per experiment so the Table III/IV binaries analyze
+ * exactly the viruses the figure binaries measured.
+ */
+core::Individual evolveVirus(
+    const std::shared_ptr<const platform::Platform>& plat, Target target,
+    const core::GaParams& params);
+
+/** Canonical virus searches shared between figure and table benches. */
+core::Individual a15PowerVirus(const Scale& scale);
+core::Individual a7PowerVirus(const Scale& scale);
+core::Individual xgene2PowerVirus(const Scale& scale);
+core::Individual xgene2IpcVirus(const Scale& scale);
+core::Individual xgene2SimplePowerVirus(const Scale& scale);
+core::Individual athlonDidtVirus(const Scale& scale);
+
+/** Print the bench banner: which table/figure, platform, scale. */
+void printHeader(const std::string& experiment,
+                 const std::string& description, const Scale& scale);
+
+/** Print one normalized result bar (the paper's figure style). */
+void printBar(const std::string& name, double value, double baseline,
+              const std::string& unit);
+
+/** Print a free-form note line. */
+void printNote(const std::string& text);
+
+} // namespace bench
+} // namespace gest
+
+#endif // GEST_BENCH_COMMON_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Voltage-noise (dI/dt) virus workflow (§VI): size the loop with the
+ * paper's resonance rule, search with the oscilloscope-analog
+ * measurement, then characterize the V_MIN of the found virus against
+ * Prime95-like and the AMD-stability-like baselines, lowering the
+ * supply in 12.5 mV steps like the paper does.
+ */
+
+#include <cstdio>
+
+#include "arch/simulator.hh"
+#include "core/engine.hh"
+#include "measure/sim_measurements.hh"
+#include "platform/platform.hh"
+#include "power/power_model.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+std::vector<double>
+chipCurrent(const std::shared_ptr<const gest::platform::Platform>& plat,
+            const std::vector<gest::isa::InstructionInstance>& code)
+{
+    using namespace gest;
+    arch::LoopSimulator sim(plat->cpu(), plat->initState());
+    const arch::SimResult result =
+        sim.runForCycles(arch::decodeBody(plat->library(), code), 8192);
+    const power::PowerModel model(plat->energy(), plat->cpu().freqGHz);
+    const platform::Evaluation eval =
+        plat->evaluate(code, plat->library());
+    return plat->chipCurrent(
+        model.trace(result, plat->chip().vdd, eval.dieTempC));
+}
+
+} // namespace
+
+int
+main()
+try {
+    using namespace gest;
+    setQuiet(true);
+
+    const auto plat = platform::athlonX4Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    const pdn::PdnModel& pdn_model = *plat->pdnModel();
+
+    // The paper's rule: loop length = IPC * f_clk / f_resonance, with
+    // IPC about half the core's peak.
+    const int loop_len = core::GaParams::didtLoopLength(
+        1.5, plat->cpu().freqGHz, pdn_model.config().resonanceHz());
+    std::printf("PDN resonance %.1f MHz (Q=%.2f) at %.1f GHz -> loop "
+                "length %d instructions\n",
+                pdn_model.config().resonanceHz() / 1e6,
+                pdn_model.config().qFactor(), plat->cpu().freqGHz,
+                loop_len);
+
+    core::GaParams params;
+    params.populationSize = 30;
+    params.individualSize = loop_len;
+    params.mutationRate =
+        core::GaParams::mutationRateForSize(loop_len);
+    params.generations = 25;
+    params.seed = 99;
+
+    measure::SimVoltageNoiseMeasurement meas(lib, plat);
+    fitness::DefaultFitness fit;
+    core::Engine engine(params, lib, meas, fit);
+    std::printf("searching for a dI/dt virus...\n");
+    engine.run();
+
+    const core::Individual& virus = engine.bestEver();
+    std::printf("\nbest dI/dt virus: %.1f mV peak-to-peak\n",
+                virus.fitness * 1e3);
+    for (const std::string& line : core::renderLines(lib, virus))
+        std::printf("    %s\n", line.c_str());
+
+    // V_MIN characterization, 12.5 mV steps, like Figure 9.
+    pdn::VminConfig vcfg;
+    vcfg.vNominal = plat->chip().vdd;
+    vcfg.vCritical = 1.150;
+    const pdn::VminModel vmin(pdn_model, vcfg);
+
+    std::printf("\nV_MIN characterization (supply lowered in %.1f mV "
+                "steps, fail when v(t) < %.3f V):\n",
+                vcfg.stepVolts * 1e3, vcfg.vCritical);
+    std::printf("  %-24s %.4f V\n", "dIdt_GA_virus",
+                vmin.characterize(chipCurrent(plat, virus.code),
+                                  plat->cpu().freqGHz));
+    const std::vector<workloads::Workload> baselines =
+        workloads::x86Baselines(lib);
+    for (const char* name : {"prime95", "amd_stability_test",
+                             "coremark"}) {
+        const workloads::Workload& w = workloads::byName(baselines, name);
+        std::printf("  %-24s %.4f V\n", name,
+                    vmin.characterize(chipCurrent(plat, w.code),
+                                      plat->cpu().freqGHz));
+    }
+    std::printf("\nthe virus fails at the highest supply: it is the "
+                "strongest stability test (Figure 9's shape).\n");
+    return 0;
+} catch (const gest::FatalError& err) {
+    std::fprintf(stderr, "fatal: %s\n", err.what());
+    return 1;
+}

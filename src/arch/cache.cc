@@ -1,0 +1,96 @@
+#include "arch/cache.hh"
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace arch {
+
+namespace {
+
+int
+log2i(int value)
+{
+    int bits = 0;
+    while ((1 << bits) < value)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig& cfg) : _cfg(cfg)
+{
+    if ((cfg.sets & (cfg.sets - 1)) != 0)
+        fatal("cache sets must be a power of two, got ", cfg.sets);
+    if ((cfg.lineBytes & (cfg.lineBytes - 1)) != 0)
+        fatal("cache line size must be a power of two, got ",
+              cfg.lineBytes);
+    _lines.resize(static_cast<std::size_t>(cfg.sets) * cfg.ways);
+    _offsetBits = log2i(cfg.lineBytes);
+    _indexMask = cfg.sets - 1;
+}
+
+bool
+Cache::access(std::uint64_t address)
+{
+    ++_accesses;
+    ++_useCounter;
+
+    const std::uint64_t line_addr = address >> _offsetBits;
+    const int set = static_cast<int>(line_addr) & _indexMask;
+    const std::uint64_t tag = line_addr >> log2i(_cfg.sets);
+
+    Line* base = &_lines[static_cast<std::size_t>(set) * _cfg.ways];
+    Line* victim = base;
+    for (int way = 0; way < _cfg.ways; ++way) {
+        Line& line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = _useCounter;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++_misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = _useCounter;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t address) const
+{
+    const std::uint64_t line_addr = address >> _offsetBits;
+    const int set = static_cast<int>(line_addr) & _indexMask;
+    const std::uint64_t tag = line_addr >> log2i(_cfg.sets);
+    const Line* base = &_lines[static_cast<std::size_t>(set) * _cfg.ways];
+    for (int way = 0; way < _cfg.ways; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line& line : _lines)
+        line.valid = false;
+}
+
+double
+Cache::hitRate() const
+{
+    if (_accesses == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(_misses) /
+                     static_cast<double>(_accesses);
+}
+
+} // namespace arch
+} // namespace gest

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small set-associative L1 data cache with LRU replacement.
+ *
+ * The generated viruses are expected to be L1-resident (the paper observes
+ * "extremely high L1 hit rates" for power viruses), but the cache is
+ * modelled fully so stride-heavy operand definitions can be used to build
+ * cache-miss stressors (the LLC/DRAM extension §VII sketches).
+ */
+
+#ifndef GEST_ARCH_CACHE_HH
+#define GEST_ARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/cpu_config.hh"
+
+namespace gest {
+namespace arch {
+
+/** Set-associative data cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig& cfg);
+
+    /**
+     * Access the line containing @p address.
+     * @return true on hit; on miss the line is filled.
+     */
+    bool access(std::uint64_t address);
+
+    /**
+     * Check whether @p address would hit, without touching cache state
+     * or counters (used for MSHR admission before committing an
+     * access).
+     */
+    bool probe(std::uint64_t address) const;
+
+    /** Reset to the all-invalid state. */
+    void flush();
+
+    /** Accesses observed so far. */
+    std::uint64_t accesses() const { return _accesses; }
+
+    /** Misses observed so far. */
+    std::uint64_t misses() const { return _misses; }
+
+    /** Hit ratio over all accesses (1.0 when no accesses yet). */
+    double hitRate() const;
+
+    /** Geometry this cache was built with. */
+    const CacheConfig& config() const { return _cfg; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig _cfg;
+    std::vector<Line> _lines;      ///< sets * ways, row-major by set
+    std::uint64_t _accesses = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _useCounter = 0;
+    int _offsetBits = 0;
+    int _indexMask = 0;
+};
+
+} // namespace arch
+} // namespace gest
+
+#endif // GEST_ARCH_CACHE_HH

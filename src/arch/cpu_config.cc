@@ -1,0 +1,189 @@
+#include "arch/cpu_config.hh"
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace arch {
+
+using isa::Opcode;
+
+void
+CpuConfig::applyDefaultTimings(int alu_lat, int mul_lat, int div_lat,
+                               int fp_lat, int fma_lat, int fdiv_lat)
+{
+    // Short integer.
+    for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Orr,
+                      Opcode::Eor, Opcode::Lsl, Opcode::Lsr, Opcode::Mov,
+                      Opcode::Cmp, Opcode::AddWrap})
+        setTiming(op, FuType::IntAlu, alu_lat);
+
+    // Long integer.
+    setTiming(Opcode::Mul, FuType::IntMul, mul_lat);
+    setTiming(Opcode::MAdd, FuType::IntMul, mul_lat + 1);
+    setTiming(Opcode::SMull, FuType::IntMul, mul_lat);
+    setTiming(Opcode::UDiv, FuType::IntDiv, div_lat, false);
+
+    // FP / SIMD.
+    setTiming(Opcode::FAdd, FuType::FpSimd, fp_lat);
+    setTiming(Opcode::FMul, FuType::FpSimd, fp_lat);
+    setTiming(Opcode::FDiv, FuType::FpSimd, fdiv_lat, false);
+    setTiming(Opcode::FMAdd, FuType::FpSimd, fma_lat);
+    setTiming(Opcode::FSqrt, FuType::FpSimd, fdiv_lat, false);
+    setTiming(Opcode::VAdd, FuType::FpSimd, fp_lat);
+    setTiming(Opcode::VMul, FuType::FpSimd, fp_lat);
+    setTiming(Opcode::VFma, FuType::FpSimd, fma_lat);
+    setTiming(Opcode::VAnd, FuType::FpSimd, 1);
+
+    // Memory (latency overridden by cache hit/miss; this is the base).
+    setTiming(Opcode::Load, FuType::Lsu, l1d.hitLatency);
+    setTiming(Opcode::LoadPair, FuType::Lsu, l1d.hitLatency);
+    setTiming(Opcode::Store, FuType::Lsu, 1);
+    setTiming(Opcode::StorePair, FuType::Lsu, 1);
+
+    // Control.
+    setTiming(Opcode::Branch, FuType::Branch, 1);
+    setTiming(Opcode::BranchCond, FuType::Branch, 1);
+    setTiming(Opcode::Nop, FuType::IntAlu, 1);
+}
+
+void
+CpuConfig::validate() const
+{
+    if (fetchWidth < 1 || issueWidth < 1 || windowSize < 1)
+        fatal("cpu '", name, "': widths and window must be positive");
+    if (freqGHz <= 0.0)
+        fatal("cpu '", name, "': frequency must be positive");
+    if (l1d.sets < 1 || l1d.ways < 1 || l1d.lineBytes < 8)
+        fatal("cpu '", name, "': malformed L1 geometry");
+    bool any_fu = false;
+    for (int count : fuCount)
+        any_fu = any_fu || count > 0;
+    if (!any_fu)
+        fatal("cpu '", name, "': no functional units");
+}
+
+namespace {
+
+int&
+fu(CpuConfig& cfg, FuType type)
+{
+    return cfg.fuCount[static_cast<std::size_t>(type)];
+}
+
+} // namespace
+
+CpuConfig
+cortexA15Config()
+{
+    CpuConfig cfg;
+    cfg.name = "cortex-a15";
+    cfg.outOfOrder = true;
+    cfg.fetchWidth = 3;
+    cfg.issueWidth = 4;
+    cfg.windowSize = 40;
+    fu(cfg, FuType::IntAlu) = 2;
+    fu(cfg, FuType::IntMul) = 1;
+    fu(cfg, FuType::IntDiv) = 1;
+    fu(cfg, FuType::FpSimd) = 2;
+    fu(cfg, FuType::Lsu) = 1;
+    fu(cfg, FuType::Branch) = 1;
+    cfg.l1d = {.sets = 128, .ways = 2, .lineBytes = 64, .hitLatency = 4,
+               .missLatency = 40};
+    cfg.freqGHz = 1.2;
+    cfg.takenBranchBubble = 1;
+    cfg.mispredictPenalty = 15;
+    cfg.applyDefaultTimings(1, 4, 14, 4, 8, 18);
+    return cfg;
+}
+
+CpuConfig
+cortexA7Config()
+{
+    CpuConfig cfg;
+    cfg.name = "cortex-a7";
+    cfg.outOfOrder = false;
+    cfg.fetchWidth = 2;
+    cfg.issueWidth = 2;
+    cfg.windowSize = 2;
+    fu(cfg, FuType::IntAlu) = 2;
+    fu(cfg, FuType::IntMul) = 1;
+    fu(cfg, FuType::IntDiv) = 1;
+    fu(cfg, FuType::FpSimd) = 1;
+    fu(cfg, FuType::Lsu) = 1;
+    fu(cfg, FuType::Branch) = 1;
+    cfg.l1d = {.sets = 128, .ways = 4, .lineBytes = 64, .hitLatency = 3,
+               .missLatency = 50};
+    cfg.freqGHz = 1.0;
+    // The A7's branch predictor resolves taken branches in fetch; a
+    // predicted-taken branch costs no bubble, which is what makes
+    // branch-rich loops viable on the little core.
+    cfg.takenBranchBubble = 0;
+    cfg.mispredictPenalty = 8;
+    cfg.applyDefaultTimings(1, 3, 10, 4, 8, 16);
+    // The A7 NEON datapath is 64-bit and the VFP-lite pipe is not fully
+    // pipelined: 128-bit vector ops and scalar FP ops occupy the single
+    // FP unit for multiple cycles.
+    cfg.setTiming(Opcode::VAdd, FuType::FpSimd, 4, 2);
+    cfg.setTiming(Opcode::VMul, FuType::FpSimd, 4, 2);
+    cfg.setTiming(Opcode::VFma, FuType::FpSimd, 8, 4);
+    cfg.setTiming(Opcode::VAnd, FuType::FpSimd, 2, 2);
+    cfg.setTiming(Opcode::FAdd, FuType::FpSimd, 4, 2);
+    cfg.setTiming(Opcode::FMul, FuType::FpSimd, 4, 2);
+    cfg.setTiming(Opcode::FMAdd, FuType::FpSimd, 8, 4);
+    return cfg;
+}
+
+CpuConfig
+xgene2Config()
+{
+    CpuConfig cfg;
+    cfg.name = "xgene2";
+    cfg.outOfOrder = true;
+    cfg.fetchWidth = 4;
+    cfg.issueWidth = 4;
+    cfg.windowSize = 64;
+    fu(cfg, FuType::IntAlu) = 2;
+    fu(cfg, FuType::IntMul) = 1;
+    fu(cfg, FuType::IntDiv) = 1;
+    fu(cfg, FuType::FpSimd) = 2;
+    fu(cfg, FuType::Lsu) = 2;
+    fu(cfg, FuType::Branch) = 1;
+    cfg.l1d = {.sets = 64, .ways = 8, .lineBytes = 64, .hitLatency = 4,
+               .missLatency = 80};
+    // 256 KiB unified L2 backing the 32 KiB L1.
+    cfg.l2 = {.sets = 512, .ways = 8, .lineBytes = 64, .hitLatency = 18,
+              .missLatency = 130};
+    cfg.hasL2 = true;
+    cfg.freqGHz = 2.4;
+    cfg.takenBranchBubble = 1;
+    cfg.mispredictPenalty = 14;
+    cfg.applyDefaultTimings(1, 4, 16, 5, 9, 22);
+    return cfg;
+}
+
+CpuConfig
+athlonX4Config()
+{
+    CpuConfig cfg;
+    cfg.name = "athlon-x4-645";
+    cfg.outOfOrder = true;
+    cfg.fetchWidth = 3;
+    cfg.issueWidth = 3;
+    cfg.windowSize = 72;
+    fu(cfg, FuType::IntAlu) = 3;
+    fu(cfg, FuType::IntMul) = 1;
+    fu(cfg, FuType::IntDiv) = 1;
+    fu(cfg, FuType::FpSimd) = 2;
+    fu(cfg, FuType::Lsu) = 2;
+    fu(cfg, FuType::Branch) = 1;
+    cfg.l1d = {.sets = 512, .ways = 2, .lineBytes = 64, .hitLatency = 3,
+               .missLatency = 45};
+    cfg.freqGHz = 3.1;
+    cfg.takenBranchBubble = 1;
+    cfg.mispredictPenalty = 12;
+    cfg.applyDefaultTimings(1, 3, 20, 4, 8, 20);
+    return cfg;
+}
+
+} // namespace arch
+} // namespace gest

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Static description of a simulated CPU core.
+ *
+ * The four evaluation machines of the paper (Cortex-A15, Cortex-A7,
+ * X-Gene2, AMD Athlon II) are modelled as parameter sets over one generic
+ * superscalar timing model: in-order or out-of-order issue, a scheduler
+ * window, per-type functional-unit counts, per-opcode latencies, a small
+ * L1 data cache and branch-redirect penalties.
+ */
+
+#ifndef GEST_ARCH_CPU_CONFIG_HH
+#define GEST_ARCH_CPU_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "arch/fu.hh"
+#include "isa/instr_class.hh"
+
+namespace gest {
+namespace arch {
+
+/** Execution timing of one opcode. */
+struct OpTiming
+{
+    FuType fu = FuType::IntAlu;
+    int latency = 1;     ///< result latency in cycles
+    int busyCycles = 1;  ///< cycles the FU is occupied (issue interval)
+};
+
+/** L1 data-cache geometry. */
+struct CacheConfig
+{
+    int sets = 64;
+    int ways = 4;
+    int lineBytes = 64;
+    int hitLatency = 3;
+    int missLatency = 60;
+};
+
+/**
+ * Full static configuration of one simulated core.
+ */
+struct CpuConfig
+{
+    std::string name;
+
+    bool outOfOrder = true;
+    int fetchWidth = 3;       ///< micro-ops entering the window per cycle
+    int issueWidth = 3;       ///< max micro-ops issued per cycle
+    int windowSize = 40;      ///< scheduler window (in-order cores: small)
+
+    /** Units available per FuType. */
+    std::array<int, numFuTypes> fuCount{};
+
+    /** Per-opcode execution timing, indexed by isa::Opcode. */
+    std::array<OpTiming, 64> timing{};
+
+    CacheConfig l1d;
+
+    /**
+     * Optional unified L2. When present, an L1 miss that hits in L2
+     * costs l2.hitLatency and an L2 miss costs l2.missLatency (DRAM);
+     * l1d.missLatency is ignored. This enables the paper's §VII
+     * extension: stressing the LLC/DRAM by optimizing for cache misses.
+     */
+    CacheConfig l2;
+    bool hasL2 = false;
+
+    /**
+     * Miss-status holding registers: the maximum number of outstanding
+     * DRAM (L2-miss) requests. Bounds memory-level parallelism and
+     * therefore DRAM bandwidth, which keeps cache-miss viruses
+     * physical.
+     */
+    int mshrs = 8;
+
+    double freqGHz = 1.0;
+
+    /** Fetch-bubble cycles after a correctly predicted taken branch. */
+    int takenBranchBubble = 0;
+
+    /** Full misprediction penalty in cycles. */
+    int mispredictPenalty = 12;
+
+    /**
+     * Deterministic misprediction model: every Nth conditional branch
+     * mispredicts (0 = never). Loop-closing branches are captured by a
+     * loop predictor and never mispredict until exit.
+     */
+    int mispredictEveryN = 0;
+
+    /** Look up the timing of an opcode. */
+    const OpTiming& opTiming(isa::Opcode op) const
+    {
+        return timing[static_cast<std::size_t>(op)];
+    }
+
+    /** Set the timing of an opcode (busy_cycles = 0: busy for latency). */
+    void
+    setTiming(isa::Opcode op, FuType fu, int latency, int busy_cycles = 1)
+    {
+        timing[static_cast<std::size_t>(op)] =
+            {fu, latency, busy_cycles > 0 ? busy_cycles : latency};
+    }
+
+    /** Fill the timing table from a small set of per-group latencies. */
+    void applyDefaultTimings(int alu_lat, int mul_lat, int div_lat,
+                             int fp_lat, int fma_lat, int fdiv_lat);
+
+    /** Sanity-check the configuration; fatal() on nonsense. */
+    void validate() const;
+};
+
+/** Cortex-A15-like: 3-wide out-of-order with two FP/SIMD pipes. */
+CpuConfig cortexA15Config();
+
+/** Cortex-A7-like: 2-wide in-order with a single 64-bit NEON pipe. */
+CpuConfig cortexA7Config();
+
+/** X-Gene2-like: 4-wide out-of-order server core. */
+CpuConfig xgene2Config();
+
+/** AMD Athlon II-like: 3-wide out-of-order desktop core at 3.1 GHz. */
+CpuConfig athlonX4Config();
+
+} // namespace arch
+} // namespace gest
+
+#endif // GEST_ARCH_CPU_CONFIG_HH

@@ -1,0 +1,21 @@
+#include "arch/fu.hh"
+
+namespace gest {
+namespace arch {
+
+const char*
+toString(FuType fu)
+{
+    switch (fu) {
+      case FuType::IntAlu: return "IntAlu";
+      case FuType::IntMul: return "IntMul";
+      case FuType::IntDiv: return "IntDiv";
+      case FuType::FpSimd: return "FpSimd";
+      case FuType::Lsu: return "Lsu";
+      case FuType::Branch: return "Branch";
+    }
+    return "?";
+}
+
+} // namespace arch
+} // namespace gest

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Functional-unit types of the timing model.
+ */
+
+#ifndef GEST_ARCH_FU_HH
+#define GEST_ARCH_FU_HH
+
+namespace gest {
+namespace arch {
+
+/** Execution-resource classes instructions compete for. */
+enum class FuType
+{
+    IntAlu,  ///< simple integer ALU
+    IntMul,  ///< integer multiplier (pipelined)
+    IntDiv,  ///< integer divider (unpipelined)
+    FpSimd,  ///< FP/SIMD pipe
+    Lsu,     ///< load/store unit
+    Branch,  ///< branch unit
+};
+
+/** Number of FuType values. */
+constexpr int numFuTypes = 6;
+
+/** @return a short display name for a functional unit type. */
+const char* toString(FuType fu);
+
+} // namespace arch
+} // namespace gest
+
+#endif // GEST_ARCH_FU_HH

@@ -1,0 +1,128 @@
+#include "arch/microop.hh"
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace arch {
+
+using isa::InstrClass;
+using isa::Opcode;
+
+MicroOp
+decode(const isa::InstructionLibrary& lib,
+       const isa::InstructionInstance& inst)
+{
+    const isa::InstructionDef& def = lib.instruction(inst.defIndex);
+
+    MicroOp mo;
+    mo.op = def.opcode;
+    mo.cls = def.cls;
+    mo.isLoad = isa::isLoad(def.opcode);
+    mo.isStore = isa::isStore(def.opcode);
+    mo.isBranch = isa::isBranch(def.opcode);
+
+    // Collect register slots (in slot order) and the first immediate.
+    std::vector<int> regs;
+    std::vector<bool> reg_is_vec;
+    for (std::size_t slot = 0; slot < def.operandIndex.size(); ++slot) {
+        const isa::OperandDef& op = lib.operand(def.operandIndex[slot]);
+        if (op.kind() == isa::OperandKind::Immediate) {
+            mo.imm = op.immediateValue(inst.operandChoice[slot]);
+            mo.hasImm = true;
+            continue;
+        }
+        isa::RegRef ref;
+        if (!op.parsedRegister(inst.operandChoice[slot], ref))
+            fatal("cannot simulate instruction '", def.name,
+                  "': register name '",
+                  op.registerName(inst.operandChoice[slot]),
+                  "' is not recognized");
+        regs.push_back(unifiedReg(ref));
+        reg_is_vec.push_back(ref.cls == isa::RegClass::Vec);
+    }
+
+    auto add_src = [&mo](int reg) {
+        if (mo.numSrc >= 4)
+            panic("micro-op with more than 4 sources");
+        mo.src[mo.numSrc++] = static_cast<std::int8_t>(reg);
+    };
+    auto add_dst = [&mo](int reg) {
+        if (mo.numDst >= 2)
+            panic("micro-op with more than 2 destinations");
+        mo.dst[mo.numDst++] = static_cast<std::int8_t>(reg);
+    };
+
+    if (mo.isBranch || def.opcode == Opcode::Nop) {
+        // No register operands.
+    } else if (mo.isStore) {
+        // All registers but the last are data sources; the last is the
+        // base address register (ARM "STR data, [base]" and the x86
+        // library place the base last among register slots).
+        if (regs.empty())
+            fatal("store instruction '", def.name,
+                  "' needs at least a base register");
+        for (std::size_t i = 0; i + 1 < regs.size(); ++i)
+            add_src(regs[i]);
+        add_src(regs.back());
+        if (regs.size() >= 2)
+            mo.accessBytes =
+                static_cast<std::int8_t>(reg_is_vec[0] ? 16 : 8);
+    } else if (mo.isLoad) {
+        // All registers but the last are destinations; the last is the
+        // base address register.
+        if (regs.empty())
+            fatal("load instruction '", def.name,
+                  "' needs at least a base register");
+        for (std::size_t i = 0; i + 1 < regs.size(); ++i)
+            add_dst(regs[i]);
+        add_src(regs.back());
+        if (regs.size() >= 2)
+            mo.accessBytes =
+                static_cast<std::int8_t>(reg_is_vec[0] ? 16 : 8);
+        if (def.opcode == Opcode::LoadPair)
+            mo.accessBytes = 16;
+    } else if (def.opcode == Opcode::Cmp) {
+        for (int reg : regs)
+            add_src(reg);
+    } else if (def.opcode == Opcode::Mov) {
+        if (!regs.empty())
+            add_dst(regs[0]);
+        for (std::size_t i = 1; i < regs.size(); ++i)
+            add_src(regs[i]);
+    } else {
+        // Arithmetic. First register is the destination; the rest are
+        // sources. Two-register forms are destructive (x86 style), and
+        // fused multiply-accumulate reads its destination.
+        if (regs.empty())
+            fatal("arithmetic instruction '", def.name,
+                  "' has no register operands");
+        add_dst(regs[0]);
+        for (std::size_t i = 1; i < regs.size(); ++i)
+            add_src(regs[i]);
+        // Two-register forms are destructive (x86 style), fused
+        // multiply-accumulate reads its destination, and one-register
+        // forms with an immediate are read-modify-write pointer
+        // advances ("ADD op1, op1, #op2").
+        const bool destructive =
+            regs.size() == 2 || regs.size() == 1 ||
+            def.opcode == Opcode::VFma || def.opcode == Opcode::FMAdd;
+        if (destructive)
+            add_src(regs[0]);
+    }
+
+    return mo;
+}
+
+std::vector<MicroOp>
+decodeBody(const isa::InstructionLibrary& lib,
+           const std::vector<isa::InstructionInstance>& body)
+{
+    std::vector<MicroOp> out;
+    out.reserve(body.size());
+    for (const isa::InstructionInstance& inst : body)
+        out.push_back(decode(lib, inst));
+    return out;
+}
+
+} // namespace arch
+} // namespace gest

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Decoded micro-operations.
+ *
+ * The simulator does not interpret format strings; instruction instances
+ * are decoded once per evaluation into a flat MicroOp form: semantic
+ * opcode, register sources/destinations in a unified register space
+ * (integer 0-31, vector 32-63) and an immediate.
+ */
+
+#ifndef GEST_ARCH_MICROOP_HH
+#define GEST_ARCH_MICROOP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr_class.hh"
+#include "isa/library.hh"
+
+namespace gest {
+namespace arch {
+
+/** Unified register-space size: 32 integer + 32 vector registers. */
+constexpr int numUnifiedRegs = 64;
+
+/** Map a parsed register onto the unified register space. */
+inline int
+unifiedReg(const isa::RegRef& reg)
+{
+    return reg.cls == isa::RegClass::Int ? reg.index : 32 + reg.index;
+}
+
+/** @return true for unified indices naming vector registers. */
+inline bool
+isVecReg(int unified)
+{
+    return unified >= 32;
+}
+
+/** One decoded operation, ready for timing and functional execution. */
+struct MicroOp
+{
+    isa::Opcode op = isa::Opcode::Nop;
+    isa::InstrClass cls = isa::InstrClass::Nop;
+
+    std::int8_t src[4] = {-1, -1, -1, -1};
+    std::int8_t dst[2] = {-1, -1};
+    std::int8_t numSrc = 0;
+    std::int8_t numDst = 0;
+
+    std::int64_t imm = 0;
+    bool hasImm = false;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;
+
+    /** Memory access width in bytes (loads/stores only). */
+    std::int8_t accessBytes = 8;
+};
+
+/**
+ * Decode one instruction instance against its library.
+ *
+ * fatal() when a register operand's name cannot be parsed — a simulated
+ * target cannot execute registers it does not know.
+ */
+MicroOp decode(const isa::InstructionLibrary& lib,
+               const isa::InstructionInstance& inst);
+
+/** Decode a whole loop body. */
+std::vector<MicroOp> decodeBody(const isa::InstructionLibrary& lib,
+                                const std::vector<isa::InstructionInstance>&
+                                    body);
+
+} // namespace arch
+} // namespace gest
+
+#endif // GEST_ARCH_MICROOP_HH

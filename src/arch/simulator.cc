@@ -1,0 +1,573 @@
+#include "arch/simulator.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <optional>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace arch {
+
+using isa::InstrClass;
+using isa::Opcode;
+
+namespace {
+
+/** The implicit loop-closing backward branch the template provides. */
+MicroOp
+loopBranchOp()
+{
+    MicroOp mo;
+    mo.op = Opcode::BranchCond;
+    mo.cls = InstrClass::Branch;
+    mo.isBranch = true;
+    return mo;
+}
+
+/** Hamming distance between old and new values. */
+inline std::uint32_t
+toggles(std::uint64_t before, std::uint64_t after)
+{
+    return static_cast<std::uint32_t>(std::popcount(before ^ after));
+}
+
+} // namespace
+
+/**
+ * All mutable execution state for one run. Kept separate from the
+ * LoopSimulator so run() is reentrant and const-correct.
+ */
+class RunState
+{
+  public:
+    RunState(const CpuConfig& cfg, const InitState& init)
+        : _cfg(cfg), _init(init), _cache(cfg.l1d),
+          _memory(init.bufferBytes, init.memPattern)
+    {
+        if (cfg.hasL2) {
+            _l2.emplace(cfg.l2);
+            _mshrFreeAt.assign(
+                static_cast<std::size_t>(std::max(1, cfg.mshrs)), 0);
+        }
+        for (std::uint64_t& v : _intRegs)
+            v = init.intPattern;
+        for (auto& lanes : _vecRegs)
+            lanes = {init.vecPattern, init.vecPattern};
+        // The base register holds a virtual buffer address. Any aligned
+        // value works; what matters is that address arithmetic lands in
+        // the modelled buffer.
+        _intRegs[init.baseRegister] = bufferBase;
+        for (std::uint64_t& ready : _regReadyAt)
+            ready = 0;
+        for (int fu = 0; fu < numFuTypes; ++fu)
+            _fuFreeAt[fu].assign(
+                std::max(0, cfg.fuCount[static_cast<std::size_t>(fu)]), 0);
+    }
+
+    SimResult
+    run(const std::vector<MicroOp>& body, std::uint64_t iterations,
+        std::uint64_t warmup_iterations)
+    {
+        if (body.empty())
+            fatal("cannot simulate an empty loop body");
+        if (warmup_iterations >= iterations)
+            warmup_iterations = iterations > 1 ? iterations - 1 : 0;
+
+        const MicroOp loop_branch = loopBranchOp();
+        const std::size_t ops_per_iter = body.size() + 1;
+        const std::uint64_t total_ops = ops_per_iter * iterations;
+        const std::uint64_t warmup_ops = ops_per_iter * warmup_iterations;
+
+        SimResult result;
+        result.iterations = iterations;
+        result.trace.reserve(4096);
+
+        std::uint64_t fetch_seq = 0;
+        std::uint64_t issued_total = 0;
+        std::uint64_t cycle = 0;
+        std::uint64_t fetch_resume_at = 0;
+        std::uint64_t measure_start_cycle = 0;
+        std::uint64_t window_occ_sum = 0;
+        std::uint64_t measured_issued = 0;
+        bool measuring = warmup_ops == 0;
+        int cond_branch_count = 0;
+
+        std::vector<Slot> window;
+        window.reserve(static_cast<std::size_t>(_cfg.windowSize));
+
+        // Forward-progress bound: DRAM-bound loops with a single MSHR
+        // can legitimately take ~missLatency cycles per memory op.
+        const std::uint64_t cycle_limit = total_ops * 1024 + 8192;
+
+        while (issued_total < total_ops) {
+            if (cycle > cycle_limit)
+                panic("simulator made no forward progress (cpu '",
+                      _cfg.name, "')");
+
+            // Measurement starts at the first cycle boundary after all
+            // warmup iterations have issued.
+            if (!measuring && issued_total >= warmup_ops) {
+                measuring = true;
+                measure_start_cycle = cycle;
+            }
+
+            CycleStats stats;
+            stats.windowOccupancy =
+                static_cast<std::uint8_t>(std::min<std::size_t>(
+                    window.size(), 255));
+            if (measuring)
+                window_occ_sum += window.size();
+
+            // ---- Fetch ----
+            if (cycle >= fetch_resume_at) {
+                int fetched = 0;
+                while (fetched < _cfg.fetchWidth &&
+                       window.size() <
+                           static_cast<std::size_t>(_cfg.windowSize) &&
+                       fetch_seq < total_ops) {
+                    const std::size_t pos = fetch_seq % ops_per_iter;
+                    const MicroOp* mo =
+                        pos < body.size() ? &body[pos] : &loop_branch;
+                    const bool is_loop_branch = pos == body.size();
+                    // Functional execution happens here, in program
+                    // order, so register values, memory contents and
+                    // therefore addresses are sequentially consistent
+                    // regardless of the out-of-order issue schedule.
+                    window.push_back(executeAtFetch(*mo));
+                    ++fetch_seq;
+                    ++fetched;
+                    if (mo->isBranch) {
+                        // Taken branches redirect fetch. The loop branch
+                        // and unconditional forward branches are
+                        // predicted; conditional branches may
+                        // deterministically mispredict.
+                        std::uint64_t bubble =
+                            static_cast<std::uint64_t>(
+                                _cfg.takenBranchBubble);
+                        if (!is_loop_branch &&
+                            mo->op == Opcode::BranchCond &&
+                            _cfg.mispredictEveryN > 0) {
+                            if (++cond_branch_count >=
+                                _cfg.mispredictEveryN) {
+                                cond_branch_count = 0;
+                                bubble = static_cast<std::uint64_t>(
+                                    _cfg.mispredictPenalty);
+                                ++stats.mispredicts;
+                            }
+                        }
+                        // bubble == 0 models branch folding: the BTAC
+                        // redirects fetch within the same cycle and the
+                        // fetch group continues (Cortex-A7 style).
+                        if (bubble > 0) {
+                            fetch_resume_at = cycle + 1 + bubble;
+                            break;
+                        }
+                    }
+                }
+                stats.fetched = static_cast<std::uint8_t>(fetched);
+            }
+
+            // ---- Issue ----
+            int issued_this_cycle = 0;
+            std::size_t kept = 0;
+            bool stop_scan = false;
+            for (std::size_t i = 0; i < window.size(); ++i) {
+                const Slot& slot = window[i];
+                bool issued = false;
+                if (!stop_scan &&
+                    issued_this_cycle < _cfg.issueWidth) {
+                    issued = tryIssue(slot, cycle, stats);
+                    if (issued) {
+                        ++issued_this_cycle;
+                        ++issued_total;
+                    } else if (!_cfg.outOfOrder) {
+                        stop_scan = true;
+                    }
+                } else if (!_cfg.outOfOrder) {
+                    stop_scan = true;
+                }
+                if (!issued)
+                    window[kept++] = window[i];
+            }
+            window.resize(kept);
+
+            // ---- Record ----
+            if (measuring) {
+                if (result.trace.size() < maxTraceCycles)
+                    result.trace.push_back(stats);
+                for (int cls = 0; cls < isa::numInstrClasses; ++cls)
+                    result.classCounts[static_cast<std::size_t>(cls)] +=
+                        stats.issued[static_cast<std::size_t>(cls)];
+                result.totalToggleBits += stats.toggleBits;
+                result.mispredicts += stats.mispredicts;
+                measured_issued +=
+                    static_cast<std::uint64_t>(stats.totalIssued());
+            }
+
+            ++cycle;
+        }
+
+        const std::uint64_t measured_cycles =
+            cycle - measure_start_cycle;
+        result.cycles = measured_cycles > 0 ? measured_cycles : 1;
+        // Exactly what the measured cycles issued: trace, class counts
+        // and instruction count always agree.
+        result.instructions = measured_issued;
+        result.ipc = static_cast<double>(result.instructions) /
+                     static_cast<double>(result.cycles);
+        // Cache counters cover the whole run including warmup, like a
+        // real hardware event counter read around the binary execution.
+        result.cacheAccesses = _cache.accesses();
+        result.cacheMisses = _cache.misses();
+        result.l2Accesses = _l2 ? _l2->accesses() : 0;
+        result.l2Misses = _l2 ? _l2->misses() : 0;
+        result.avgWindowOccupancy =
+            static_cast<double>(window_occ_sum) /
+            static_cast<double>(result.cycles);
+        return result;
+    }
+
+  private:
+    static constexpr std::uint64_t bufferBase = 0x10000;
+    static constexpr std::size_t maxTraceCycles = 1u << 20;
+
+    const CpuConfig& _cfg;
+    const InitState& _init;
+    Cache _cache;
+    std::optional<Cache> _l2;
+    std::vector<std::uint64_t> _mshrFreeAt;
+    std::vector<std::uint8_t> _memory;
+
+    std::array<std::uint64_t, 32> _intRegs{};
+    std::array<std::array<std::uint64_t, 2>, 32> _vecRegs{};
+    std::array<std::uint64_t, numUnifiedRegs> _regReadyAt{};
+    std::array<std::vector<std::uint64_t>, numFuTypes> _fuFreeAt;
+
+    std::uint64_t
+    readLane(int unified, int lane) const
+    {
+        if (isVecReg(unified))
+            return _vecRegs[static_cast<std::size_t>(unified - 32)]
+                           [static_cast<std::size_t>(lane)];
+        return _intRegs[static_cast<std::size_t>(unified)];
+    }
+
+    std::uint32_t
+    writeLane(int unified, int lane, std::uint64_t value)
+    {
+        std::uint64_t* slot;
+        if (isVecReg(unified))
+            slot = &_vecRegs[static_cast<std::size_t>(unified - 32)]
+                            [static_cast<std::size_t>(lane)];
+        else
+            slot = &_intRegs[static_cast<std::size_t>(unified)];
+        const std::uint32_t flips = toggles(*slot, value);
+        *slot = value;
+        return flips;
+    }
+
+    /** Map a virtual address into the modelled buffer. */
+    std::size_t
+    bufferOffset(std::uint64_t address, int bytes) const
+    {
+        std::uint64_t off = (address - bufferBase) % _memory.size();
+        off &= ~static_cast<std::uint64_t>(bytes - 1);
+        if (off + static_cast<std::uint64_t>(bytes) > _memory.size())
+            off = 0;
+        return static_cast<std::size_t>(off);
+    }
+
+    std::uint64_t
+    loadWord(std::size_t offset) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, &_memory[offset], sizeof(v));
+        return v;
+    }
+
+    std::uint32_t
+    storeWord(std::size_t offset, std::uint64_t value)
+    {
+        const std::uint32_t flips = toggles(loadWord(offset), value);
+        std::memcpy(&_memory[offset], &value, sizeof(value));
+        return flips;
+    }
+
+    /** One window entry: a fetched micro-op with its architectural
+     *  effects (address, datapath toggles) precomputed in program
+     *  order. */
+    struct Slot
+    {
+        const MicroOp* mo;
+        std::uint64_t address;
+        std::uint32_t toggles;
+    };
+
+    /**
+     * Execute one micro-op architecturally at fetch time (program
+     * order): update registers/memory, compute its access address and
+     * datapath toggles. Timing is not affected here.
+     */
+    Slot
+    executeAtFetch(const MicroOp& mo)
+    {
+        Slot slot{&mo, 0, 0};
+        if (mo.isLoad || mo.isStore) {
+            const int base = mo.src[mo.numSrc - 1];
+            slot.address =
+                readLane(base, 0) + static_cast<std::uint64_t>(mo.imm);
+            const std::size_t offset =
+                bufferOffset(slot.address, mo.accessBytes);
+            if (mo.isLoad) {
+                for (int d = 0; d < mo.numDst; ++d) {
+                    const std::size_t word_off =
+                        offset + static_cast<std::size_t>(d) * 8;
+                    if (isVecReg(mo.dst[d]) && mo.accessBytes == 16) {
+                        slot.toggles += writeLane(mo.dst[d], 0,
+                                                  loadWord(offset));
+                        slot.toggles += writeLane(mo.dst[d], 1,
+                                                  loadWord(offset + 8));
+                    } else {
+                        slot.toggles +=
+                            writeLane(mo.dst[d], 0,
+                                      loadWord(word_off %
+                                               _memory.size()));
+                    }
+                }
+            } else {
+                // Stores: data sources precede the base register.
+                for (int s = 0; s < mo.numSrc - 1; ++s) {
+                    const int data = mo.src[s];
+                    if (isVecReg(data) && mo.accessBytes == 16) {
+                        slot.toggles +=
+                            storeWord(offset, readLane(data, 0));
+                        slot.toggles +=
+                            storeWord(offset + 8, readLane(data, 1));
+                    } else {
+                        const std::size_t word_off =
+                            (offset + static_cast<std::size_t>(s) * 8) %
+                            (_memory.size() - 8);
+                        slot.toggles +=
+                            storeWord(word_off, readLane(data, 0));
+                    }
+                }
+            }
+        } else {
+            slot.toggles = execute(mo);
+        }
+        return slot;
+    }
+
+    /**
+     * Try to issue one fetched micro-op at @p cycle; on success charge
+     * its FU, the cache hierarchy and the register readiness.
+     */
+    bool
+    tryIssue(const Slot& slot, std::uint64_t cycle, CycleStats& stats)
+    {
+        const MicroOp& mo = *slot.mo;
+
+        // Source readiness.
+        for (int i = 0; i < mo.numSrc; ++i) {
+            if (_regReadyAt[static_cast<std::size_t>(mo.src[i])] > cycle)
+                return false;
+        }
+
+        // Functional unit availability.
+        const OpTiming& timing = _cfg.opTiming(mo.op);
+        auto& units = _fuFreeAt[static_cast<std::size_t>(timing.fu)];
+        std::uint64_t* unit = nullptr;
+        for (std::uint64_t& free_at : units) {
+            if (free_at <= cycle) {
+                unit = &free_at;
+                break;
+            }
+        }
+        if (!unit)
+            return false;
+
+        int latency = timing.latency;
+
+        // Memory access: consult the cache hierarchy with the address
+        // computed in program order at fetch.
+        if (mo.isLoad || mo.isStore) {
+            const std::uint64_t address = slot.address;
+
+            // A request that will go to DRAM needs a free MSHR; without
+            // one the op cannot issue this cycle (bounded memory-level
+            // parallelism).
+            std::uint64_t* mshr = nullptr;
+            if (_l2 && !_cache.probe(address) && !_l2->probe(address)) {
+                for (std::uint64_t& free_at : _mshrFreeAt) {
+                    if (free_at <= cycle) {
+                        mshr = &free_at;
+                        break;
+                    }
+                }
+                if (!mshr)
+                    return false;
+            }
+
+            const bool hit = _cache.access(address);
+            if (!hit) {
+                ++stats.cacheMisses;
+                if (_l2) {
+                    const bool l2_hit = _l2->access(address);
+                    if (!l2_hit) {
+                        ++stats.l2Misses;
+                        if (mshr)
+                            *mshr = cycle + static_cast<std::uint64_t>(
+                                                _cfg.l2.missLatency);
+                    }
+                    latency = l2_hit ? _cfg.l2.hitLatency
+                                     : _cfg.l2.missLatency;
+                } else {
+                    latency = _cfg.l1d.missLatency;
+                }
+            } else if (mo.isLoad) {
+                latency = _cfg.l1d.hitLatency;
+            }
+        }
+
+        // Charge the functional unit for its issue interval. Memory ops
+        // that miss keep the LSU busy only for the issue slot; the line
+        // fill proceeds in the background (non-blocking cache).
+        *unit = cycle + static_cast<std::uint64_t>(timing.busyCycles);
+
+        // Destination readiness.
+        for (int d = 0; d < mo.numDst; ++d)
+            _regReadyAt[static_cast<std::size_t>(mo.dst[d])] =
+                cycle + static_cast<std::uint64_t>(latency);
+
+        ++stats.issued[static_cast<std::size_t>(mo.cls)];
+        stats.toggleBits += slot.toggles;
+        return true;
+    }
+
+    /** Execute a non-memory micro-op; @return result-bit toggles. */
+    std::uint32_t
+    execute(const MicroOp& mo)
+    {
+        if (mo.numDst == 0)
+            return mo.op == Opcode::Cmp ? 4 : 0;
+
+        const int dst = mo.dst[0];
+        const int lanes = isVecReg(dst) ? 2 : 1;
+
+        auto src_or_imm = [&](int index, int lane) -> std::uint64_t {
+            if (index < mo.numSrc)
+                return readLane(mo.src[index], lane);
+            return static_cast<std::uint64_t>(mo.imm);
+        };
+
+        std::uint32_t flips = 0;
+        for (int lane = 0; lane < lanes; ++lane) {
+            const std::uint64_t a = src_or_imm(0, lane);
+            const std::uint64_t b = src_or_imm(1, lane);
+            const std::uint64_t c = src_or_imm(2, lane);
+            std::uint64_t value = 0;
+            switch (mo.op) {
+              case Opcode::Add: value = a + b; break;
+              case Opcode::AddWrap:
+                // Pointer advance bounded to the data buffer (the real
+                // template masks the pointer the same way).
+                value = bufferBase +
+                        ((a + b - bufferBase) &
+                         (static_cast<std::uint64_t>(_memory.size()) -
+                          1));
+                break;
+              case Opcode::Sub: value = a - b; break;
+              case Opcode::And: value = a & b; break;
+              case Opcode::Orr: value = a | b; break;
+              case Opcode::Eor: value = a ^ b; break;
+              case Opcode::Lsl:
+                value = a << (mo.hasImm ? (mo.imm & 63) : (b & 63));
+                break;
+              case Opcode::Lsr:
+                value = a >> (mo.hasImm ? (mo.imm & 63) : (b & 63));
+                break;
+              case Opcode::Mov:
+                value = mo.numSrc > 0 ? a
+                                      : static_cast<std::uint64_t>(mo.imm);
+                break;
+              case Opcode::Mul: value = a * b; break;
+              case Opcode::MAdd: value = a * b + c; break;
+              case Opcode::SMull:
+                value = static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(
+                        static_cast<std::int32_t>(a)) *
+                    static_cast<std::int64_t>(
+                        static_cast<std::int32_t>(b)));
+                break;
+              case Opcode::UDiv: value = b ? a / b : 0; break;
+              // FP executed with integer-proxy semantics: the goal is a
+              // realistic amount of datapath bit switching, not numerics.
+              case Opcode::FAdd:
+              case Opcode::VAdd: value = a + b; break;
+              case Opcode::FMul:
+              case Opcode::VMul: value = a * b; break;
+              case Opcode::FDiv: value = b ? a / (b | 1) : 0; break;
+              case Opcode::FMAdd:
+              case Opcode::VFma: value = a * b + c; break;
+              case Opcode::FSqrt: value = a >> 32; break;
+              case Opcode::VAnd: value = a & b; break;
+              default:
+                return 0;
+            }
+            flips += writeLane(dst, lane, value);
+        }
+        return flips;
+    }
+};
+
+LoopSimulator::LoopSimulator(const CpuConfig& cfg, const InitState& init)
+    : _cfg(cfg), _init(init)
+{
+    _cfg.validate();
+    if (init.bufferBytes < 512 ||
+        (init.bufferBytes & (init.bufferBytes - 1)) != 0)
+        fatal("buffer size must be a power of two >= 512, got ",
+              init.bufferBytes);
+    if (init.baseRegister < 0 || init.baseRegister >= 32)
+        fatal("base register index out of range: ", init.baseRegister);
+}
+
+SimResult
+LoopSimulator::run(const std::vector<MicroOp>& body,
+                   std::uint64_t iterations,
+                   std::uint64_t warmup_iterations)
+{
+    RunState state(_cfg, _init);
+    return state.run(body, iterations, warmup_iterations);
+}
+
+SimResult
+LoopSimulator::runForCycles(const std::vector<MicroOp>& body,
+                            std::uint64_t min_cycles,
+                            std::uint64_t max_instructions)
+{
+    if (body.empty())
+        fatal("cannot simulate an empty loop body");
+
+    const std::uint64_t warmup = 2;
+    const std::uint64_t probe_iters = warmup + 8;
+    const SimResult probe = run(body, probe_iters, warmup);
+
+    const double cycles_per_iter =
+        static_cast<double>(probe.cycles) /
+        static_cast<double>(probe_iters - warmup);
+    std::uint64_t need = warmup + 1 +
+        static_cast<std::uint64_t>(
+            static_cast<double>(min_cycles) / cycles_per_iter);
+
+    const std::uint64_t iter_cap =
+        std::max<std::uint64_t>(warmup + 1,
+                                max_instructions / (body.size() + 1));
+    need = std::min(need, iter_cap);
+    return run(body, need, warmup);
+}
+
+} // namespace arch
+} // namespace gest

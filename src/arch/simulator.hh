@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The loop simulator: a generic superscalar timing model with functional
+ * execution for switching-activity estimation.
+ *
+ * This is the substitute for the paper's real silicon. One model covers
+ * both in-order (Cortex-A7) and out-of-order (Cortex-A15, X-Gene2,
+ * Athlon II) cores through the CpuConfig parameters:
+ *
+ *  - Fetch: up to fetchWidth micro-ops per cycle enter a scheduler window,
+ *    stalling on taken-branch redirects.
+ *  - Issue: up to issueWidth ready micro-ops per cycle, oldest first. An
+ *    in-order core stops scanning at the first stalled micro-op; an
+ *    out-of-order core skips it.
+ *  - Functional units: pipelined units accept one op per cycle per unit;
+ *    unpipelined units (dividers) stay busy for the full latency.
+ *  - Memory: addresses are computed from register values; an L1 cache
+ *    model decides hit/miss latency.
+ *  - Functional execution: register and memory values are computed so the
+ *    power model can see data-dependent bit switching (the reason the
+ *    paper initializes registers with checkerboard patterns).
+ *
+ * Functional execution happens in program order at fetch time, so
+ * register values, memory contents and access addresses are always
+ * sequentially consistent regardless of the issue schedule; timing
+ * happens at issue.
+ *
+ * Known simplifications (documented in docs/models.md):
+ * conditional-branch mispredictions are charged as fetch-stall penalties
+ * without squashing, there is no store-to-load forwarding latency model
+ * or prefetcher, and FP values are executed with integer-proxy semantics
+ * (sufficient for toggle estimation, not for numerics).
+ */
+
+#ifndef GEST_ARCH_SIMULATOR_HH
+#define GEST_ARCH_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/cache.hh"
+#include "arch/cpu_config.hh"
+#include "arch/microop.hh"
+#include "arch/trace.hh"
+
+namespace gest {
+namespace arch {
+
+/** Initial state of the architectural registers and memory. */
+struct InitState
+{
+    /** Value loaded into every integer compute register. */
+    std::uint64_t intPattern = 0xaaaaaaaaaaaaaaaaULL;
+
+    /** Value loaded into every vector register lane. */
+    std::uint64_t vecPattern = 0xaaaaaaaaaaaaaaaaULL;
+
+    /** Byte pattern the data buffer is filled with. */
+    std::uint8_t memPattern = 0x5a;
+
+    /** Size of the data buffer the base register points into. */
+    std::uint32_t bufferBytes = 4096;
+
+    /** Integer register holding the buffer base address. */
+    int baseRegister = 10;
+};
+
+/**
+ * Simulates a loop body on one core configuration.
+ */
+class LoopSimulator
+{
+  public:
+    LoopSimulator(const CpuConfig& cfg, const InitState& init);
+
+    /**
+     * Simulate @p body executed for @p iterations iterations (plus the
+     * loop-closing backward branch each iteration, which the template
+     * provides on real hardware).
+     *
+     * @param body decoded loop body; must not be empty
+     * @param iterations loop iterations to run
+     * @param warmup_iterations iterations excluded from the trace/stats
+     */
+    SimResult run(const std::vector<MicroOp>& body,
+                  std::uint64_t iterations,
+                  std::uint64_t warmup_iterations = 2);
+
+    /**
+     * Simulate enough iterations that the measured region covers at least
+     * @p min_cycles cycles (bounded by @p max_instructions).
+     */
+    SimResult runForCycles(const std::vector<MicroOp>& body,
+                           std::uint64_t min_cycles,
+                           std::uint64_t max_instructions = 2'000'000);
+
+    /** The configuration in use. */
+    const CpuConfig& config() const { return _cfg; }
+
+  private:
+    CpuConfig _cfg;
+    InitState _init;
+};
+
+} // namespace arch
+} // namespace gest
+
+#endif // GEST_ARCH_SIMULATOR_HH

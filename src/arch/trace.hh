@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-cycle activity records produced by the simulator.
+ *
+ * The power model consumes this trace; the PDN model consumes the current
+ * trace the power model derives from it. Keeping the record compact
+ * matters: a GA run evaluates thousands of individuals, each over
+ * thousands of cycles.
+ */
+
+#ifndef GEST_ARCH_TRACE_HH
+#define GEST_ARCH_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr_class.hh"
+
+namespace gest {
+namespace arch {
+
+/** Activity observed in a single cycle. */
+struct CycleStats
+{
+    /** Micro-ops issued this cycle, by instruction class. */
+    std::array<std::uint8_t, isa::numInstrClasses> issued{};
+
+    /** Result-bit toggles (Hamming distance) of all ops issued. */
+    std::uint32_t toggleBits = 0;
+
+    /** Scheduler-window occupancy at the start of the cycle. */
+    std::uint8_t windowOccupancy = 0;
+
+    /** Instructions fetched/decoded this cycle. */
+    std::uint8_t fetched = 0;
+
+    /** L1 data-cache misses initiated this cycle. */
+    std::uint8_t cacheMisses = 0;
+
+    /** L2 misses (DRAM accesses) initiated this cycle. */
+    std::uint8_t l2Misses = 0;
+
+    /** 1 if a branch mispredict was charged this cycle. */
+    std::uint8_t mispredicts = 0;
+
+    /** Total micro-ops issued this cycle. */
+    int
+    totalIssued() const
+    {
+        int total = 0;
+        for (std::uint8_t count : issued)
+            total += count;
+        return total;
+    }
+};
+
+/** Result of simulating a loop body for some number of iterations. */
+struct SimResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t iterations = 0;
+
+    /** Committed-instruction IPC over the measured (post-warmup) region. */
+    double ipc = 0.0;
+
+    /** Per-cycle activity, warmup excluded. */
+    std::vector<CycleStats> trace;
+
+    /** Issue counts per class over the measured region. */
+    std::array<std::uint64_t, isa::numInstrClasses> classCounts{};
+
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t mispredicts = 0;
+
+    /** Sum of toggle bits over the measured region. */
+    std::uint64_t totalToggleBits = 0;
+
+    /** Average scheduler occupancy per cycle. */
+    double avgWindowOccupancy = 0.0;
+
+    /** L1 hit rate over the measured region. */
+    double
+    l1HitRate() const
+    {
+        if (cacheAccesses == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(cacheMisses) /
+                         static_cast<double>(cacheAccesses);
+    }
+
+    /** L2 hit rate over the measured region (1.0 with no L2 traffic). */
+    double
+    l2HitRate() const
+    {
+        if (l2Accesses == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(l2Misses) /
+                         static_cast<double>(l2Accesses);
+    }
+
+    /** DRAM accesses (L2 misses) per thousand instructions. */
+    double
+    dramPerKiloInstr() const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(l2Misses) /
+               static_cast<double>(instructions);
+    }
+};
+
+} // namespace arch
+} // namespace gest
+
+#endif // GEST_ARCH_TRACE_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The main configuration file (§III.B.1) and run orchestration.
+ *
+ * A GeST configuration is an XML file that carries (a) the GA engine
+ * parameters of Table I, (b) the operand and instruction definitions the
+ * search draws from (or the name of a bundled library), and (c) the
+ * measurement and fitness classes plus their own configuration, the
+ * output directory, the optional template file and the optional seed
+ * population. Example:
+ *
+ * @code{.xml}
+ * <gest_configuration>
+ *   <ga population_size="50" individual_size="50" mutation_rate="0.02"
+ *       crossover_operator="one_point"
+ *       parent_selection_method="tournament" tournament_size="5"
+ *       elitism="true" generations="100" seed="1"/>
+ *   <library name="arm"/>
+ *   <operands>
+ *     <operand id="my_regs" type="register" values="x4 x5 x6"/>
+ *     <operand id="imm" type="immediate" min="0" max="256" stride="8"/>
+ *   </operands>
+ *   <instructions>
+ *     <instruction name="MYLDR" num_of_operands="3"
+ *         operand1="mem_result" operand2="mem_address_register"
+ *         operand3="imm" format="LDR op1, [op2, #op3]" type="mem"/>
+ *   </instructions>
+ *   <measurement class="SimPowerMeasurement">
+ *     <config platform="cortex-a15"/>
+ *   </measurement>
+ *   <fitness class="DefaultFitness"/>
+ *   <output directory="runs/a15_power"/>
+ * </gest_configuration>
+ * @endcode
+ *
+ * Measurement/fitness parameters may live inline (a <config> child, as
+ * above) or in their own XML file (config="file.xml"), matching the
+ * paper's separation of measurement configuration from the main file.
+ */
+
+#ifndef GEST_CONFIG_CONFIG_HH
+#define GEST_CONFIG_CONFIG_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/engine.hh"
+#include "core/ga_params.hh"
+#include "isa/asm_template.hh"
+#include "isa/library.hh"
+#include "xml/xml.hh"
+
+namespace gest {
+namespace config {
+
+/** A fully parsed run configuration. */
+struct RunConfig
+{
+    core::GaParams ga;
+    isa::InstructionLibrary library;
+
+    std::string measurementClass = "SimPowerMeasurement";
+    std::string fitnessClass = "DefaultFitness";
+
+    std::string outputDirectory;      ///< empty: no artifacts written
+    std::string seedPopulationPath;   ///< empty: random seed population
+    std::optional<isa::AsmTemplate> asmTemplate;
+
+    /** Raw main-configuration text (record keeping). */
+    std::string rawText;
+
+    /** Owning documents backing the config elements below. */
+    std::shared_ptr<xml::Document> mainDoc;
+    std::shared_ptr<xml::Document> measurementDoc;
+    std::shared_ptr<xml::Document> fitnessDoc;
+
+    /** Measurement parameters element (may be null). */
+    const xml::Element* measurementConfig = nullptr;
+
+    /** Fitness parameters element (may be null). */
+    const xml::Element* fitnessConfig = nullptr;
+};
+
+/** Parsing options. */
+struct ParseOptions
+{
+    /**
+     * Resolve and load referenced files (template, external
+     * measurement/fitness configs). Disable when only the embedded
+     * information is needed — e.g. rebuilding the instruction library
+     * from a configuration recorded inside a run directory, where the
+     * original relative paths no longer resolve.
+     */
+    bool loadReferencedFiles = true;
+};
+
+/**
+ * Parse a configuration from text. Relative file references (template,
+ * external measurement config, seed population) resolve against
+ * @p base_dir.
+ */
+RunConfig parseConfig(const std::string& text,
+                      const std::string& base_dir = ".",
+                      const ParseOptions& options = {});
+
+/** Parse the configuration file at @p path. */
+RunConfig loadConfig(const std::string& path);
+
+/** Outcome of a full configured run. */
+struct RunResult
+{
+    core::Population finalPopulation;
+    core::Individual best;
+    std::vector<core::GenerationRecord> history;
+    std::uint64_t evaluations = 0;
+};
+
+/**
+ * Execute one GA run described by a configuration: instantiate the
+ * measurement and fitness by name, wire the output writer, seed, run.
+ */
+RunResult runFromConfig(const RunConfig& cfg);
+
+/** Register all bundled measurement and fitness classes (idempotent). */
+void registerBuiltins();
+
+} // namespace config
+} // namespace gest
+
+#endif // GEST_CONFIG_CONFIG_HH

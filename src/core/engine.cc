@@ -1,0 +1,211 @@
+#include "core/engine.hh"
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace core {
+
+Engine::Engine(GaParams params, const isa::InstructionLibrary& lib,
+               measure::Measurement& measurement,
+               fitness::Fitness& fitness)
+    : _params(params), _lib(lib), _measurement(measurement),
+      _fitness(fitness), _rng(params.seed)
+{
+    _params.validate();
+    if (lib.numInstructions() == 0)
+        fatal("the GA needs a non-empty instruction library");
+}
+
+void
+Engine::setSeedPopulation(Population seed)
+{
+    if (_initialized)
+        fatal("seed population must be installed before initialize()");
+    if (seed.individuals.empty())
+        fatal("seed population is empty");
+    for (const Individual& ind : seed.individuals) {
+        if (static_cast<int>(ind.code.size()) != _params.individualSize)
+            fatal("seed individual ", ind.id, " has ", ind.code.size(),
+                  " instructions but the configuration asks for ",
+                  _params.individualSize);
+        for (const isa::InstructionInstance& inst : ind.code) {
+            if (!_lib.valid(inst))
+                fatal("seed individual ", ind.id,
+                      " contains an instruction encoding that is invalid "
+                      "for the current library");
+        }
+    }
+    _seed = std::move(seed);
+}
+
+void
+Engine::setGenerationCallback(GenerationCallback callback)
+{
+    _callback = std::move(callback);
+}
+
+Individual
+Engine::randomIndividual()
+{
+    Individual ind;
+    ind.id = _nextId++;
+    ind.code.reserve(static_cast<std::size_t>(_params.individualSize));
+    for (int i = 0; i < _params.individualSize; ++i)
+        ind.code.push_back(_lib.randomInstance(_rng));
+    return ind;
+}
+
+void
+Engine::evaluate(Individual& ind)
+{
+    if (ind.evaluated)
+        return;
+    ind.measurements = _measurement.measure(ind.code).values;
+    ind.fitness = _fitness.getFitness(ind, _lib);
+    ind.evaluated = true;
+    ++_evaluations;
+}
+
+void
+Engine::evaluatePopulation()
+{
+    for (Individual& ind : _population.individuals)
+        evaluate(ind);
+
+    const Individual& best = _population.best();
+    if (!_bestEver || best.fitness > _bestEver->fitness)
+        _bestEver = best;
+
+    GenerationRecord record;
+    record.generation = _population.generation;
+    record.bestFitness = best.fitness;
+    record.averageFitness = _population.averageFitness();
+    record.bestId = best.id;
+    record.bestUniqueInstructions = uniqueInstructionCount(best);
+    record.bestBreakdown = classBreakdown(_lib, best);
+    record.diversity = _population.genotypeDiversity();
+    _history.push_back(record);
+
+    if (_callback)
+        _callback(_population, record);
+}
+
+void
+Engine::initialize()
+{
+    if (_initialized)
+        fatal("engine initialized twice");
+    _initialized = true;
+
+    _population = Population{};
+    _population.generation = 0;
+    if (_seed) {
+        _population.individuals = _seed->individuals;
+        // Re-number so new children continue above the seeds.
+        for (Individual& ind : _population.individuals) {
+            if (ind.id >= _nextId)
+                _nextId = ind.id + 1;
+        }
+        // Top up or trim to the configured population size.
+        while (static_cast<int>(_population.individuals.size()) <
+               _params.populationSize)
+            _population.individuals.push_back(randomIndividual());
+        if (static_cast<int>(_population.individuals.size()) >
+            _params.populationSize)
+            _population.individuals.resize(
+                static_cast<std::size_t>(_params.populationSize));
+    } else {
+        _population.individuals.reserve(
+            static_cast<std::size_t>(_params.populationSize));
+        for (int i = 0; i < _params.populationSize; ++i)
+            _population.individuals.push_back(randomIndividual());
+    }
+    evaluatePopulation();
+}
+
+Population
+Engine::breed()
+{
+    Population next;
+    next.generation = _population.generation + 1;
+    next.individuals.reserve(
+        static_cast<std::size_t>(_params.populationSize));
+
+    if (_params.elitism) {
+        // The elite keeps its id, measurements and fitness: it is the
+        // same individual, not a copy to re-measure.
+        next.individuals.push_back(_population.best());
+    }
+
+    while (static_cast<int>(next.individuals.size()) <
+           _params.populationSize) {
+        const Individual& p1 =
+            _population.individuals[selectParent(_population, _params,
+                                                 _rng)];
+        const Individual& p2 =
+            _population.individuals[selectParent(_population, _params,
+                                                 _rng)];
+        auto [c1, c2] = crossover(p1, p2, _params, _rng);
+        mutate(c1, _lib, _params, _rng);
+        mutate(c2, _lib, _params, _rng);
+        c1.id = _nextId++;
+        c2.id = _nextId++;
+        next.individuals.push_back(std::move(c1));
+        if (static_cast<int>(next.individuals.size()) <
+            _params.populationSize)
+            next.individuals.push_back(std::move(c2));
+    }
+    return next;
+}
+
+bool
+Engine::step()
+{
+    if (!_initialized)
+        fatal("step() before initialize()");
+    if (_population.generation + 1 >= _params.generations)
+        return false;
+    if (stagnated())
+        return false;
+    _population = breed();
+    evaluatePopulation();
+    if (_population.generation + 1 >= _params.generations)
+        return false;
+    return !stagnated();
+}
+
+bool
+Engine::stagnated() const
+{
+    const int limit = _params.stagnationLimit;
+    if (limit <= 0 ||
+        static_cast<int>(_history.size()) <= limit)
+        return false;
+    const double now = _history.back().bestFitness;
+    const double then =
+        _history[_history.size() - 1 - static_cast<std::size_t>(limit)]
+            .bestFitness;
+    return now <= then;
+}
+
+const Population&
+Engine::run()
+{
+    if (!_initialized)
+        initialize();
+    while (step()) {
+        // Work happens in step().
+    }
+    return _population;
+}
+
+const Individual&
+Engine::bestEver() const
+{
+    if (!_bestEver)
+        panic("bestEver() before any evaluation");
+    return *_bestEver;
+}
+
+} // namespace core
+} // namespace gest

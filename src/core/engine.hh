@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The GA engine: coordinates seeding, measurement, fitness evaluation
+ * and breeding (§III.A, Figure 2).
+ */
+
+#ifndef GEST_CORE_ENGINE_HH
+#define GEST_CORE_ENGINE_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/ga_params.hh"
+#include "core/operators.hh"
+#include "core/population.hh"
+#include "fitness/fitness.hh"
+#include "measure/measurement.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace core {
+
+/** Per-generation summary appended to the engine's history. */
+struct GenerationRecord
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    double averageFitness = 0.0;
+    std::uint64_t bestId = 0;
+    std::size_t bestUniqueInstructions = 0;
+    std::array<int, isa::numInstrClasses> bestBreakdown{};
+
+    /** Population genotype diversity (Population::genotypeDiversity). */
+    double diversity = 0.0;
+};
+
+/**
+ * Drives one GA search. The engine owns the population and the RNG; the
+ * caller owns the library, measurement and fitness objects, which must
+ * outlive the engine.
+ */
+class Engine
+{
+  public:
+    /** Callback invoked after each generation is evaluated. */
+    using GenerationCallback =
+        std::function<void(const Population&, const GenerationRecord&)>;
+
+    Engine(GaParams params, const isa::InstructionLibrary& lib,
+           measure::Measurement& measurement, fitness::Fitness& fitness);
+
+    /**
+     * Install a seed population used as generation 0 instead of random
+     * individuals (§III.D: saved populations can seed a new search).
+     * Must be called before initialize()/run().
+     */
+    void setSeedPopulation(Population seed);
+
+    /** Install a per-generation observer (progress logs, output files). */
+    void setGenerationCallback(GenerationCallback callback);
+
+    /** Create and evaluate generation 0. */
+    void initialize();
+
+    /**
+     * Breed and evaluate the next generation.
+     * @return false once params.generations have been evaluated.
+     */
+    bool step();
+
+    /** initialize() + step() until done; @return the final population. */
+    const Population& run();
+
+    /** The current population. */
+    const Population& population() const { return _population; }
+
+    /** The fittest individual seen across all generations. */
+    const Individual& bestEver() const;
+
+    /** Per-generation records. */
+    const std::vector<GenerationRecord>& history() const
+    {
+        return _history;
+    }
+
+    /** Total measure() invocations so far. */
+    std::uint64_t evaluations() const { return _evaluations; }
+
+    /** The engine's parameters. */
+    const GaParams& params() const { return _params; }
+
+    /** Mutable RNG access (tests). */
+    Rng& rng() { return _rng; }
+
+  private:
+    /** Generate one random individual of the configured size. */
+    Individual randomIndividual();
+
+    /** @return true once the stagnation early-stop triggers. */
+    bool stagnated() const;
+
+    /** Measure and score one individual if not already evaluated. */
+    void evaluate(Individual& ind);
+
+    /** Evaluate every individual and append the generation record. */
+    void evaluatePopulation();
+
+    /** Build the next generation from the current one. */
+    Population breed();
+
+    GaParams _params;
+    const isa::InstructionLibrary& _lib;
+    measure::Measurement& _measurement;
+    fitness::Fitness& _fitness;
+    Rng _rng;
+
+    Population _population;
+    std::optional<Population> _seed;
+    std::optional<Individual> _bestEver;
+    std::vector<GenerationRecord> _history;
+    GenerationCallback _callback;
+    std::uint64_t _nextId = 1;
+    std::uint64_t _evaluations = 0;
+    bool _initialized = false;
+};
+
+} // namespace core
+} // namespace gest
+
+#endif // GEST_CORE_ENGINE_HH

@@ -1,0 +1,96 @@
+#include "core/ga_params.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace core {
+
+const char*
+toString(CrossoverOperator op)
+{
+    switch (op) {
+      case CrossoverOperator::OnePoint: return "one_point";
+      case CrossoverOperator::Uniform: return "uniform";
+    }
+    return "?";
+}
+
+CrossoverOperator
+crossoverFromString(const std::string& name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "one_point" || n == "onepoint" || n == "one-point")
+        return CrossoverOperator::OnePoint;
+    if (n == "uniform")
+        return CrossoverOperator::Uniform;
+    fatal("unknown crossover operator '", name, "'");
+}
+
+const char*
+toString(SelectionMethod method)
+{
+    switch (method) {
+      case SelectionMethod::Tournament: return "tournament";
+      case SelectionMethod::Roulette: return "roulette";
+    }
+    return "?";
+}
+
+SelectionMethod
+selectionFromString(const std::string& name)
+{
+    const std::string n = toLower(trim(name));
+    if (n == "tournament" || n == "tournament_selection")
+        return SelectionMethod::Tournament;
+    if (n == "roulette" || n == "roulette_wheel")
+        return SelectionMethod::Roulette;
+    fatal("unknown selection method '", name, "'");
+}
+
+double
+GaParams::mutationRateForSize(int individual_size)
+{
+    if (individual_size <= 0)
+        fatal("individual size must be positive");
+    return 1.0 / static_cast<double>(individual_size);
+}
+
+int
+GaParams::didtLoopLength(double ipc, double freq_ghz, double resonance_hz)
+{
+    if (ipc <= 0.0 || freq_ghz <= 0.0 || resonance_hz <= 0.0)
+        fatal("dI/dt loop-length rule needs positive inputs");
+    const double instructions = ipc * freq_ghz * 1e9 / resonance_hz;
+    int length = static_cast<int>(std::lround(instructions));
+    if (length < 2)
+        length = 2;
+    return length;
+}
+
+void
+GaParams::validate() const
+{
+    if (populationSize < 2)
+        fatal("population_size must be at least 2, got ", populationSize);
+    if (individualSize < 1)
+        fatal("individual size must be positive, got ", individualSize);
+    if (mutationRate < 0.0 || mutationRate > 1.0)
+        fatal("mutation_rate must be in [0,1], got ", mutationRate);
+    if (operandMutationProb < 0.0 || operandMutationProb > 1.0)
+        fatal("operand mutation probability must be in [0,1], got ",
+              operandMutationProb);
+    if (tournamentSize < 1 || tournamentSize > populationSize)
+        fatal("tournament_size must be in [1, population_size], got ",
+              tournamentSize);
+    if (generations < 1)
+        fatal("generations must be positive, got ", generations);
+    if (stagnationLimit < 0)
+        fatal("stagnation limit must be non-negative, got ",
+              stagnationLimit);
+}
+
+} // namespace core
+} // namespace gest

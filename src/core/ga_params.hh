@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Genetic-algorithm parameters (the paper's Table I).
+ */
+
+#ifndef GEST_CORE_GA_PARAMS_HH
+#define GEST_CORE_GA_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gest {
+namespace core {
+
+/** Crossover operators the engine supports (§III.A). */
+enum class CrossoverOperator
+{
+    OnePoint, ///< preserves parental instruction order; the default
+    Uniform,  ///< per-gene coin flip between parents
+};
+
+/** @return "one_point" / "uniform". */
+const char* toString(CrossoverOperator op);
+
+/** Parse a crossover-operator name; fatal() if unknown. */
+CrossoverOperator crossoverFromString(const std::string& name);
+
+/** Parent-selection methods. */
+enum class SelectionMethod
+{
+    Tournament, ///< the paper's default, tournament size 5
+    Roulette,   ///< fitness-proportional
+};
+
+/** @return "tournament" / "roulette". */
+const char* toString(SelectionMethod method);
+
+/** Parse a selection-method name; fatal() if unknown. */
+SelectionMethod selectionFromString(const std::string& name);
+
+/**
+ * All engine knobs, defaulted to the paper's Table I values.
+ */
+struct GaParams
+{
+    /** Individuals per generation. */
+    int populationSize = 50;
+
+    /** Loop-body length in instructions (15-50 in the paper). */
+    int individualSize = 50;
+
+    /**
+     * Per-instruction mutation probability. The paper's guidance: pick
+     * it so one or at most two instructions mutate per individual (2%
+     * for 50-instruction loops, 8% for 15).
+     */
+    double mutationRate = 0.02;
+
+    /**
+     * Probability that a mutation rewrites only an operand instead of
+     * the whole instruction (Figure 3 shows both operator flavors).
+     */
+    double operandMutationProb = 0.5;
+
+    CrossoverOperator crossover = CrossoverOperator::OnePoint;
+
+    SelectionMethod selection = SelectionMethod::Tournament;
+
+    /** Tournament size (Table I: 5). */
+    int tournamentSize = 5;
+
+    /** Promote the best individual unchanged (Table I: TRUE). */
+    bool elitism = true;
+
+    /** Generations to run (the paper: 70-100 typically suffice). */
+    int generations = 100;
+
+    /**
+     * Early stop: end the run once the best fitness has not improved
+     * for this many consecutive generations (0 disables). The paper
+     * observes searches saturating within 70-100 generations; this
+     * knob stops paying 5-second hardware measurements past that
+     * point.
+     */
+    int stagnationLimit = 0;
+
+    /** RNG seed; equal seeds give bit-identical runs. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Pick a mutation rate targeting ~one mutated instruction per
+     * individual of the given size (the paper's rule of thumb).
+     */
+    static double mutationRateForSize(int individual_size);
+
+    /**
+     * The paper's dI/dt loop-length rule: instructions =
+     * IPC * f_clk / f_resonance with IPC about half the peak.
+     */
+    static int didtLoopLength(double ipc, double freq_ghz,
+                              double resonance_hz);
+
+    /** Sanity-check all fields; fatal() on out-of-range values. */
+    void validate() const;
+};
+
+} // namespace core
+} // namespace gest
+
+#endif // GEST_CORE_GA_PARAMS_HH

@@ -1,0 +1,53 @@
+#include "core/individual.hh"
+
+#include <set>
+#include <sstream>
+
+namespace gest {
+namespace core {
+
+std::vector<std::string>
+renderLines(const isa::InstructionLibrary& lib, const Individual& ind)
+{
+    std::vector<std::string> lines;
+    lines.reserve(ind.code.size());
+    for (const isa::InstructionInstance& inst : ind.code)
+        lines.push_back(lib.render(inst));
+    return lines;
+}
+
+std::size_t
+uniqueInstructionCount(const Individual& ind)
+{
+    std::set<std::uint32_t> defs;
+    for (const isa::InstructionInstance& inst : ind.code)
+        defs.insert(inst.defIndex);
+    return defs.size();
+}
+
+std::array<int, isa::numInstrClasses>
+classBreakdown(const isa::InstructionLibrary& lib, const Individual& ind)
+{
+    std::array<int, isa::numInstrClasses> counts{};
+    for (const isa::InstructionInstance& inst : ind.code) {
+        const isa::InstrClass cls = lib.instruction(inst.defIndex).cls;
+        ++counts[static_cast<std::size_t>(cls)];
+    }
+    return counts;
+}
+
+std::string
+breakdownToString(const std::array<int, isa::numInstrClasses>& breakdown)
+{
+    std::ostringstream os;
+    for (int cls = 0; cls < isa::numInstrClasses; ++cls) {
+        if (cls > 0)
+            os << " ";
+        os << isa::toString(static_cast<isa::InstrClass>(cls)) << "="
+           << breakdown[static_cast<std::size_t>(cls)];
+    }
+    return os.str();
+}
+
+} // namespace core
+} // namespace gest

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The GA individual: a sequence of assembly instructions (§III.A).
+ */
+
+#ifndef GEST_CORE_INDIVIDUAL_HH
+#define GEST_CORE_INDIVIDUAL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/library.hh"
+
+namespace gest {
+namespace core {
+
+/**
+ * One candidate stress-test: the loop body the GA evolves, plus its
+ * lineage and measurement record.
+ */
+struct Individual
+{
+    /** The loop body, one gene per instruction. */
+    std::vector<isa::InstructionInstance> code;
+
+    /** Unique id within the run (assigned by the engine). */
+    std::uint64_t id = 0;
+
+    /** Parent ids (0 = none; seed individuals have no parents). */
+    std::uint64_t parent1 = 0;
+    std::uint64_t parent2 = 0;
+
+    /** Measurement vector, in the measurement's valueNames() order. */
+    std::vector<double> measurements;
+
+    /** Fitness assigned by the fitness function. */
+    double fitness = 0.0;
+
+    /** Whether measurements/fitness are valid. */
+    bool evaluated = false;
+};
+
+/** Render an individual's loop body, one instruction per line. */
+std::vector<std::string> renderLines(const isa::InstructionLibrary& lib,
+                                     const Individual& ind);
+
+/** Count distinct instruction definitions used (unique opcodes, §V.A). */
+std::size_t uniqueInstructionCount(const Individual& ind);
+
+/** Instruction-class breakdown (Table III / Table IV rows). */
+std::array<int, isa::numInstrClasses>
+classBreakdown(const isa::InstructionLibrary& lib, const Individual& ind);
+
+/** Render a class breakdown as "ShortInt=.. LongInt=.. ...". */
+std::string breakdownToString(
+    const std::array<int, isa::numInstrClasses>& breakdown);
+
+} // namespace core
+} // namespace gest
+
+#endif // GEST_CORE_INDIVIDUAL_HH

@@ -1,0 +1,156 @@
+#include "core/operators.hh"
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace core {
+
+std::size_t
+tournamentSelect(const Population& pop, int tournament_size, Rng& rng)
+{
+    if (pop.individuals.empty())
+        panic("selection from an empty population");
+    std::size_t best = rng.pickIndex(pop.individuals.size());
+    for (int round = 1; round < tournament_size; ++round) {
+        const std::size_t candidate =
+            rng.pickIndex(pop.individuals.size());
+        if (pop.individuals[candidate].fitness >
+            pop.individuals[best].fitness)
+            best = candidate;
+    }
+    return best;
+}
+
+std::size_t
+rouletteSelect(const Population& pop, Rng& rng)
+{
+    if (pop.individuals.empty())
+        panic("selection from an empty population");
+
+    double min_fitness = pop.individuals.front().fitness;
+    for (const Individual& ind : pop.individuals)
+        min_fitness = std::min(min_fitness, ind.fitness);
+    // Shift so the weakest individual still gets a sliver of wheel.
+    const double shift = -min_fitness + 1e-12;
+
+    double total = 0.0;
+    for (const Individual& ind : pop.individuals)
+        total += ind.fitness + shift;
+    if (total <= 0.0)
+        return rng.pickIndex(pop.individuals.size());
+
+    double ticket = rng.nextDouble() * total;
+    for (std::size_t i = 0; i < pop.individuals.size(); ++i) {
+        ticket -= pop.individuals[i].fitness + shift;
+        if (ticket <= 0.0)
+            return i;
+    }
+    return pop.individuals.size() - 1;
+}
+
+std::size_t
+selectParent(const Population& pop, const GaParams& params, Rng& rng)
+{
+    switch (params.selection) {
+      case SelectionMethod::Tournament:
+        return tournamentSelect(pop, params.tournamentSize, rng);
+      case SelectionMethod::Roulette:
+        return rouletteSelect(pop, rng);
+    }
+    panic("unhandled selection method");
+}
+
+namespace {
+
+/** Fresh child with cleared measurements, inheriting nothing yet. */
+Individual
+childOf(const Individual& p1, const Individual& p2)
+{
+    Individual child;
+    child.parent1 = p1.id;
+    child.parent2 = p2.id;
+    return child;
+}
+
+} // namespace
+
+std::pair<Individual, Individual>
+onePointCrossover(const Individual& p1, const Individual& p2, Rng& rng)
+{
+    if (p1.code.size() != p2.code.size())
+        panic("crossover between individuals of different sizes (",
+              p1.code.size(), " vs ", p2.code.size(), ")");
+    const std::size_t n = p1.code.size();
+
+    Individual c1 = childOf(p1, p2);
+    Individual c2 = childOf(p2, p1);
+    c1.code.reserve(n);
+    c2.code.reserve(n);
+
+    // Cut in [1, n-1] so both parents contribute (n >= 2); with a
+    // single-instruction individual the children are clones.
+    const std::size_t cut =
+        n >= 2 ? 1 + rng.pickIndex(n - 1) : n;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool first_half = i < cut;
+        c1.code.push_back(first_half ? p1.code[i] : p2.code[i]);
+        c2.code.push_back(first_half ? p2.code[i] : p1.code[i]);
+    }
+    return {std::move(c1), std::move(c2)};
+}
+
+std::pair<Individual, Individual>
+uniformCrossover(const Individual& p1, const Individual& p2, Rng& rng)
+{
+    if (p1.code.size() != p2.code.size())
+        panic("crossover between individuals of different sizes (",
+              p1.code.size(), " vs ", p2.code.size(), ")");
+    const std::size_t n = p1.code.size();
+
+    Individual c1 = childOf(p1, p2);
+    Individual c2 = childOf(p2, p1);
+    c1.code.reserve(n);
+    c2.code.reserve(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool swap = rng.nextBool(0.5);
+        c1.code.push_back(swap ? p2.code[i] : p1.code[i]);
+        c2.code.push_back(swap ? p1.code[i] : p2.code[i]);
+    }
+    return {std::move(c1), std::move(c2)};
+}
+
+std::pair<Individual, Individual>
+crossover(const Individual& p1, const Individual& p2,
+          const GaParams& params, Rng& rng)
+{
+    switch (params.crossover) {
+      case CrossoverOperator::OnePoint:
+        return onePointCrossover(p1, p2, rng);
+      case CrossoverOperator::Uniform:
+        return uniformCrossover(p1, p2, rng);
+    }
+    panic("unhandled crossover operator");
+}
+
+int
+mutate(Individual& ind, const isa::InstructionLibrary& lib,
+       const GaParams& params, Rng& rng)
+{
+    int mutated = 0;
+    for (isa::InstructionInstance& inst : ind.code) {
+        if (!rng.nextBool(params.mutationRate))
+            continue;
+        ++mutated;
+        if (rng.nextBool(params.operandMutationProb) &&
+            !inst.operandChoice.empty()) {
+            lib.mutateOperand(inst, rng);
+        } else {
+            inst = lib.randomInstance(rng);
+        }
+    }
+    return mutated;
+}
+
+} // namespace core
+} // namespace gest

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Genetic operators: selection, crossover, mutation (§III.A, Figure 3).
+ */
+
+#ifndef GEST_CORE_OPERATORS_HH
+#define GEST_CORE_OPERATORS_HH
+
+#include <cstddef>
+#include <utility>
+
+#include "core/ga_params.hh"
+#include "core/individual.hh"
+#include "core/population.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace core {
+
+/**
+ * Tournament selection: draw @p tournament_size individuals uniformly
+ * (with replacement) and return the index of the fittest.
+ */
+std::size_t tournamentSelect(const Population& pop, int tournament_size,
+                             Rng& rng);
+
+/**
+ * Roulette-wheel (fitness-proportional) selection. Negative fitness is
+ * shifted so every individual keeps a non-zero probability.
+ */
+std::size_t rouletteSelect(const Population& pop, Rng& rng);
+
+/** Dispatch on the configured selection method. */
+std::size_t selectParent(const Population& pop, const GaParams& params,
+                         Rng& rng);
+
+/**
+ * One-point crossover (Figure 3): children swap tails at a random cut.
+ * Preserves parental instruction order, which the paper found to
+ * accelerate convergence for power and dI/dt searches.
+ */
+std::pair<Individual, Individual>
+onePointCrossover(const Individual& p1, const Individual& p2, Rng& rng);
+
+/** Uniform crossover: each gene is swapped with probability one half. */
+std::pair<Individual, Individual>
+uniformCrossover(const Individual& p1, const Individual& p2, Rng& rng);
+
+/** Dispatch on the configured crossover operator. */
+std::pair<Individual, Individual>
+crossover(const Individual& p1, const Individual& p2,
+          const GaParams& params, Rng& rng);
+
+/**
+ * Mutate in place: each instruction independently mutates with
+ * probability params.mutationRate. A mutation rewrites one operand with
+ * probability params.operandMutationProb, otherwise it replaces the
+ * whole instruction with a fresh random one (Figure 3 shows both).
+ *
+ * @return the number of mutated instructions.
+ */
+int mutate(Individual& ind, const isa::InstructionLibrary& lib,
+           const GaParams& params, Rng& rng);
+
+} // namespace core
+} // namespace gest
+
+#endif // GEST_CORE_OPERATORS_HH

@@ -1,0 +1,224 @@
+#include "core/population.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace core {
+
+int
+Population::bestIndex() const
+{
+    int best = -1;
+    for (std::size_t i = 0; i < individuals.size(); ++i) {
+        if (!individuals[i].evaluated)
+            continue;
+        if (best < 0 ||
+            individuals[i].fitness > individuals[static_cast<std::size_t>(
+                                         best)].fitness)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+const Individual&
+Population::best() const
+{
+    const int index = bestIndex();
+    if (index < 0)
+        panic("Population::best on a population with no evaluated "
+              "individuals");
+    return individuals[static_cast<std::size_t>(index)];
+}
+
+double
+Population::genotypeDiversity() const
+{
+    if (individuals.empty())
+        return 0.0;
+    std::size_t max_len = 0;
+    for (const Individual& ind : individuals)
+        max_len = std::max(max_len, ind.code.size());
+    if (max_len == 0)
+        return 0.0;
+
+    double sum = 0.0;
+    std::set<std::uint32_t> seen;
+    for (std::size_t pos = 0; pos < max_len; ++pos) {
+        seen.clear();
+        std::size_t present = 0;
+        for (const Individual& ind : individuals) {
+            if (pos < ind.code.size()) {
+                seen.insert(ind.code[pos].defIndex);
+                ++present;
+            }
+        }
+        if (present > 0)
+            sum += static_cast<double>(seen.size()) /
+                   static_cast<double>(present);
+    }
+    return sum / static_cast<double>(max_len);
+}
+
+double
+Population::averageFitness() const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const Individual& ind : individuals) {
+        if (ind.evaluated) {
+            sum += ind.fitness;
+            ++count;
+        }
+    }
+    return count > 0 ? sum / count : 0.0;
+}
+
+std::string
+serializePopulation(const isa::InstructionLibrary& lib,
+                    const Population& pop)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "gest-population 1\n";
+    os << "generation " << pop.generation << "\n";
+    for (const Individual& ind : pop.individuals) {
+        os << "individual " << ind.id << " " << ind.parent1 << " "
+           << ind.parent2 << " " << ind.fitness << " "
+           << (ind.evaluated ? 1 : 0) << "\n";
+        os << "measurements " << ind.measurements.size();
+        for (double v : ind.measurements)
+            os << " " << v;
+        os << "\n";
+        os << "code " << ind.code.size() << "\n";
+        for (const isa::InstructionInstance& inst : ind.code) {
+            os << lib.instruction(inst.defIndex).name;
+            for (std::uint32_t choice : inst.operandChoice)
+                os << " " << choice;
+            os << "\n";
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+namespace {
+
+[[noreturn]] void
+badFormat(std::size_t line_no, const std::string& why)
+{
+    fatal("malformed population file at line ", line_no, ": ", why);
+}
+
+} // namespace
+
+Population
+deserializePopulation(const isa::InstructionLibrary& lib,
+                      const std::string& text)
+{
+    const std::vector<std::string> lines = split(text, '\n');
+    std::size_t pos = 0;
+
+    auto next_line = [&]() -> std::string {
+        while (pos < lines.size()) {
+            const std::string t = trim(lines[pos++]);
+            if (!t.empty())
+                return t;
+        }
+        badFormat(pos, "unexpected end of file");
+    };
+
+    Population pop;
+    {
+        const std::vector<std::string> header =
+            splitWhitespace(next_line());
+        if (header.size() != 2 || header[0] != "gest-population" ||
+            header[1] != "1")
+            badFormat(pos, "missing 'gest-population 1' header");
+    }
+    {
+        const std::vector<std::string> gen = splitWhitespace(next_line());
+        if (gen.size() != 2 || gen[0] != "generation")
+            badFormat(pos, "missing 'generation' record");
+        pop.generation =
+            static_cast<int>(parseInt(gen[1], "generation"));
+    }
+
+    for (;;) {
+        const std::string line = next_line();
+        if (line == "end")
+            break;
+        const std::vector<std::string> fields = splitWhitespace(line);
+        if (fields.size() != 6 || fields[0] != "individual")
+            badFormat(pos, "expected 'individual' record, got '" + line +
+                               "'");
+        Individual ind;
+        ind.id = static_cast<std::uint64_t>(parseInt(fields[1], "id"));
+        ind.parent1 =
+            static_cast<std::uint64_t>(parseInt(fields[2], "parent1"));
+        ind.parent2 =
+            static_cast<std::uint64_t>(parseInt(fields[3], "parent2"));
+        ind.fitness = parseDouble(fields[4], "fitness");
+        ind.evaluated = parseInt(fields[5], "evaluated") != 0;
+
+        const std::vector<std::string> meas =
+            splitWhitespace(next_line());
+        if (meas.size() < 2 || meas[0] != "measurements")
+            badFormat(pos, "expected 'measurements' record");
+        const std::size_t n_meas = static_cast<std::size_t>(
+            parseInt(meas[1], "measurement count"));
+        if (meas.size() != n_meas + 2)
+            badFormat(pos, "measurement count mismatch");
+        for (std::size_t i = 0; i < n_meas; ++i)
+            ind.measurements.push_back(
+                parseDouble(meas[i + 2], "measurement value"));
+
+        const std::vector<std::string> code = splitWhitespace(next_line());
+        if (code.size() != 2 || code[0] != "code")
+            badFormat(pos, "expected 'code' record");
+        const std::size_t n_code = static_cast<std::size_t>(
+            parseInt(code[1], "code length"));
+        for (std::size_t i = 0; i < n_code; ++i) {
+            const std::vector<std::string> gene =
+                splitWhitespace(next_line());
+            if (gene.empty())
+                badFormat(pos, "empty instruction record");
+            const int def_index = lib.findInstruction(gene[0]);
+            if (def_index < 0)
+                fatal("population file references instruction '", gene[0],
+                      "' which is not in the current library");
+            isa::InstructionInstance inst;
+            inst.defIndex = static_cast<std::uint32_t>(def_index);
+            for (std::size_t f = 1; f < gene.size(); ++f)
+                inst.operandChoice.push_back(static_cast<std::uint32_t>(
+                    parseInt(gene[f], "operand choice")));
+            if (!lib.valid(inst))
+                fatal("population file contains an invalid encoding of "
+                      "instruction '", gene[0], "'");
+            ind.code.push_back(std::move(inst));
+        }
+        pop.individuals.push_back(std::move(ind));
+    }
+    return pop;
+}
+
+void
+savePopulation(const isa::InstructionLibrary& lib, const Population& pop,
+               const std::string& path)
+{
+    writeFile(path, serializePopulation(lib, pop));
+}
+
+Population
+loadPopulation(const isa::InstructionLibrary& lib, const std::string& path)
+{
+    return deserializePopulation(lib, readFile(path));
+}
+
+} // namespace core
+} // namespace gest

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A generation of individuals, with serialization for checkpoints and
+ * seed populations (§III.D: each population is saved and can seed a new
+ * GA search).
+ */
+
+#ifndef GEST_CORE_POPULATION_HH
+#define GEST_CORE_POPULATION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/individual.hh"
+
+namespace gest {
+namespace core {
+
+/** One generation. */
+struct Population
+{
+    int generation = 0;
+    std::vector<Individual> individuals;
+
+    /** Index of the fittest evaluated individual; -1 if none. */
+    int bestIndex() const;
+
+    /** The fittest evaluated individual; panic() if none. */
+    const Individual& best() const;
+
+    /** Mean fitness over evaluated individuals (0 if none). */
+    double averageFitness() const;
+
+    /**
+     * Genotype diversity in [0, 1]: per gene position, the number of
+     * distinct instruction definitions used across the population
+     * relative to the population size, averaged over positions. 1/N
+     * for a population of clones, approaching 1 for a fully random
+     * population over a rich alphabet. Standard GA convergence
+     * diagnostic; the search has converged once this collapses.
+     */
+    double genotypeDiversity() const;
+};
+
+/**
+ * Serialize a population to the framework's portable text format.
+ * Instructions are stored by name plus operand-choice indices so files
+ * survive library reordering as long as names are stable.
+ */
+std::string serializePopulation(const isa::InstructionLibrary& lib,
+                                const Population& pop);
+
+/**
+ * Parse a population file produced by serializePopulation(). fatal() on
+ * malformed input or instruction names missing from @p lib.
+ */
+Population deserializePopulation(const isa::InstructionLibrary& lib,
+                                 const std::string& text);
+
+/** Write a population file. */
+void savePopulation(const isa::InstructionLibrary& lib,
+                    const Population& pop, const std::string& path);
+
+/** Read a population file. */
+Population loadPopulation(const isa::InstructionLibrary& lib,
+                          const std::string& path);
+
+} // namespace core
+} // namespace gest
+
+#endif // GEST_CORE_POPULATION_HH

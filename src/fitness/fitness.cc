@@ -1,0 +1,179 @@
+#include "fitness/fitness.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace fitness {
+
+void
+Fitness::init(const xml::Element* config)
+{
+    (void)config;
+}
+
+double
+DefaultFitness::getFitness(const core::Individual& ind,
+                           const isa::InstructionLibrary& lib) const
+{
+    (void)lib;
+    if (ind.measurements.empty())
+        fatal("DefaultFitness needs at least one measurement value");
+    return ind.measurements.front();
+}
+
+void
+WeightedSumFitness::init(const xml::Element* config)
+{
+    if (!config)
+        return;
+    if (config->hasAttr("weights")) {
+        std::vector<double> weights;
+        for (const std::string& w :
+             splitWhitespace(config->attr("weights")))
+            weights.push_back(parseDouble(w, "fitness weight"));
+        setWeights(std::move(weights));
+    }
+}
+
+double
+WeightedSumFitness::getFitness(const core::Individual& ind,
+                               const isa::InstructionLibrary& lib) const
+{
+    (void)lib;
+    if (ind.measurements.size() < _weights.size())
+        fatal("WeightedSumFitness has ", _weights.size(),
+              " weights but the measurement produced only ",
+              ind.measurements.size(), " values");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < _weights.size(); ++i)
+        sum += _weights[i] * ind.measurements[i];
+    return sum;
+}
+
+void
+WeightedSumFitness::setWeights(std::vector<double> weights)
+{
+    if (weights.empty())
+        fatal("WeightedSumFitness needs at least one weight");
+    _weights = std::move(weights);
+}
+
+TemperatureSimplicityFitness::TemperatureSimplicityFitness(double idle_temp,
+                                                           double max_temp)
+    : _idleTemp(idle_temp), _maxTemp(max_temp)
+{
+    if (max_temp <= idle_temp)
+        fatal("TemperatureSimplicityFitness: max temperature ", max_temp,
+              " must exceed idle temperature ", idle_temp);
+}
+
+void
+TemperatureSimplicityFitness::init(const xml::Element* config)
+{
+    if (!config)
+        return;
+    if (config->hasAttr("idle_temperature"))
+        _idleTemp = parseDouble(config->attr("idle_temperature"),
+                                "idle_temperature");
+    if (config->hasAttr("max_temperature"))
+        _maxTemp = parseDouble(config->attr("max_temperature"),
+                               "max_temperature");
+    if (_maxTemp <= _idleTemp)
+        fatal("TemperatureSimplicityFitness: max temperature ", _maxTemp,
+              " must exceed idle temperature ", _idleTemp);
+}
+
+double
+TemperatureSimplicityFitness::getFitness(
+    const core::Individual& ind, const isa::InstructionLibrary& lib) const
+{
+    (void)lib;
+    if (ind.measurements.empty())
+        fatal("TemperatureSimplicityFitness needs a temperature "
+              "measurement");
+    const double measured = ind.measurements.front();
+    double temp_score = (measured - _idleTemp) / (_maxTemp - _idleTemp);
+    temp_score = std::clamp(temp_score, 0.0, 1.0);
+
+    const double total = static_cast<double>(ind.code.size());
+    if (total <= 0.0)
+        fatal("TemperatureSimplicityFitness on an empty individual");
+    const double unique =
+        static_cast<double>(core::uniqueInstructionCount(ind));
+    const double simplicity_score = (total - unique) / total;
+
+    return temp_score * 0.5 + simplicity_score * 0.5;
+}
+
+FitnessRegistry&
+FitnessRegistry::instance()
+{
+    static FitnessRegistry registry;
+    return registry;
+}
+
+void
+FitnessRegistry::registerFactory(const std::string& name, Factory factory)
+{
+    if (contains(name))
+        fatal("fitness '", name, "' registered twice");
+    _factories.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Fitness>
+FitnessRegistry::create(const std::string& name) const
+{
+    for (const auto& [registered, factory] : _factories) {
+        if (registered == name)
+            return factory();
+    }
+    std::string all;
+    for (const std::string& n : names())
+        all += (all.empty() ? "" : ", ") + n;
+    fatal("unknown fitness class '", name, "'; available: ",
+          all.empty() ? "<none>" : all);
+}
+
+bool
+FitnessRegistry::contains(const std::string& name) const
+{
+    for (const auto& [registered, factory] : _factories) {
+        if (registered == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+FitnessRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_factories.size());
+    for (const auto& [name, factory] : _factories)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+registerBuiltinFitness()
+{
+    FitnessRegistry& registry = FitnessRegistry::instance();
+    if (registry.contains("DefaultFitness"))
+        return;
+    registry.registerFactory("DefaultFitness", [] {
+        return std::make_unique<DefaultFitness>();
+    });
+    registry.registerFactory("WeightedSumFitness", [] {
+        return std::make_unique<WeightedSumFitness>();
+    });
+    registry.registerFactory("TemperatureSimplicityFitness", [] {
+        return std::make_unique<TemperatureSimplicityFitness>();
+    });
+}
+
+} // namespace fitness
+} // namespace gest

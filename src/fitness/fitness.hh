@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The fitness abstraction (§III.C).
+ *
+ * A fitness function maps an individual's measurement vector (plus,
+ * optionally, properties of its code) to a single score the GA ranks by.
+ * The bundled implementations mirror the paper: DefaultFitness takes the
+ * first measurement, and TemperatureSimplicityFitness implements
+ * Equation 1 — half temperature score, half instruction-stream
+ * simplicity. Implementations are selected by name through the
+ * FitnessRegistry, like measurements.
+ */
+
+#ifndef GEST_FITNESS_FITNESS_HH
+#define GEST_FITNESS_FITNESS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/individual.hh"
+#include "xml/xml.hh"
+
+namespace gest {
+namespace fitness {
+
+/**
+ * Fitness-function interface. Implementations must be pure functions of
+ * the individual (same input, same score) so GA runs are reproducible.
+ */
+class Fitness
+{
+  public:
+    virtual ~Fitness() = default;
+
+    /** Consume implementation-specific parameters from XML (optional). */
+    virtual void init(const xml::Element* config);
+
+    /**
+     * Score an evaluated individual. Called only after the measurement
+     * filled individual.measurements.
+     */
+    virtual double getFitness(const core::Individual& ind,
+                              const isa::InstructionLibrary& lib) const
+        = 0;
+
+    /** Short identifier used in logs and configs. */
+    virtual std::string name() const = 0;
+};
+
+/** "The first measurement is the fitness value" (§III.C). */
+class DefaultFitness : public Fitness
+{
+  public:
+    double getFitness(const core::Individual& ind,
+                      const isa::InstructionLibrary& lib) const override;
+    std::string name() const override { return "DefaultFitness"; }
+};
+
+/**
+ * Weighted sum over the measurement vector; weights come from the XML
+ * configuration (attribute `weights`, space-separated).
+ */
+class WeightedSumFitness : public Fitness
+{
+  public:
+    void init(const xml::Element* config) override;
+    double getFitness(const core::Individual& ind,
+                      const isa::InstructionLibrary& lib) const override;
+    std::string name() const override { return "WeightedSumFitness"; }
+
+    /** Set weights programmatically. */
+    void setWeights(std::vector<double> weights);
+
+  private:
+    std::vector<double> _weights{1.0};
+};
+
+/**
+ * Equation 1 of the paper:
+ *
+ *   F = (M_T - I_T) / (MAX_T - I_T) * 0.5 + (T_I - U_I) / T_I * 0.5
+ *
+ * where M_T is the measured temperature (the individual's first
+ * measurement), I_T the idle temperature, MAX_T the maximum attainable
+ * temperature, T_I the total instruction count and U_I the number of
+ * unique instructions.
+ */
+class TemperatureSimplicityFitness : public Fitness
+{
+  public:
+    TemperatureSimplicityFitness() = default;
+
+    /** Programmatic setup. */
+    TemperatureSimplicityFitness(double idle_temp, double max_temp);
+
+    /** XML setup: attributes `idle_temperature`, `max_temperature`. */
+    void init(const xml::Element* config) override;
+
+    double getFitness(const core::Individual& ind,
+                      const isa::InstructionLibrary& lib) const override;
+    std::string
+    name() const override
+    {
+        return "TemperatureSimplicityFitness";
+    }
+
+  private:
+    double _idleTemp = 40.0;
+    double _maxTemp = 100.0;
+};
+
+/** Name-to-factory registry for fitness functions. */
+class FitnessRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Fitness>()>;
+
+    /** The process-wide registry instance. */
+    static FitnessRegistry& instance();
+
+    /** Register a factory; fatal() on duplicates. */
+    void registerFactory(const std::string& name, Factory factory);
+
+    /** Instantiate by name; fatal() if unknown. */
+    std::unique_ptr<Fitness> create(const std::string& name) const;
+
+    /** @return true if @p name is registered. */
+    bool contains(const std::string& name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<std::pair<std::string, Factory>> _factories;
+};
+
+/** Register the bundled fitness functions (idempotent). */
+void registerBuiltinFitness();
+
+} // namespace fitness
+} // namespace gest
+
+#endif // GEST_FITNESS_FITNESS_HH

@@ -1,0 +1,62 @@
+#include "isa/asm_template.hh"
+
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace isa {
+
+AsmTemplate::AsmTemplate(std::string text) : _text(std::move(text))
+{
+    const std::vector<std::string> lines = split(_text, '\n');
+    bool seen_marker = false;
+    for (const std::string& line : lines) {
+        const std::size_t pos = line.find(marker);
+        if (pos != std::string::npos) {
+            if (seen_marker)
+                fatal("template contains more than one '", marker,
+                      "' marker");
+            seen_marker = true;
+            _indent = line.substr(0, line.find_first_not_of(" \t"));
+            if (_indent.size() == line.size())
+                _indent.clear();
+        } else if (!seen_marker) {
+            _head.push_back(line);
+        } else {
+            _tail.push_back(line);
+        }
+    }
+    if (!seen_marker)
+        fatal("template does not contain the '", marker, "' marker");
+}
+
+AsmTemplate
+AsmTemplate::fromFile(const std::string& path)
+{
+    return AsmTemplate(readFile(path));
+}
+
+std::string
+AsmTemplate::render(const std::vector<std::string>& loop_lines) const
+{
+    std::string out;
+    for (const std::string& line : _head) {
+        out += line;
+        out += '\n';
+    }
+    for (const std::string& line : loop_lines) {
+        out += _indent;
+        out += line;
+        out += '\n';
+    }
+    for (std::size_t i = 0; i < _tail.size(); ++i) {
+        out += _tail[i];
+        if (i + 1 < _tail.size())
+            out += '\n';
+    }
+    return out;
+}
+
+} // namespace isa
+} // namespace gest

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The template source file (§III.B.2).
+ *
+ * The GA prints each individual into a user-provided template at the line
+ * marked `#loop_code`. The template carries everything else: register and
+ * memory initialization (checkerboard patterns are recommended by the
+ * paper), the loop head/tail, fixed padding code, and the exit sequence.
+ */
+
+#ifndef GEST_ISA_ASM_TEMPLATE_HH
+#define GEST_ISA_ASM_TEMPLATE_HH
+
+#include <string>
+#include <vector>
+
+namespace gest {
+namespace isa {
+
+/**
+ * A source template with a single `#loop_code` insertion point.
+ */
+class AsmTemplate
+{
+  public:
+    /**
+     * Parse template text. fatal() unless exactly one line contains the
+     * `#loop_code` marker.
+     */
+    explicit AsmTemplate(std::string text);
+
+    /** Load the template from a file. */
+    static AsmTemplate fromFile(const std::string& path);
+
+    /**
+     * Render the template with @p loop_lines in place of the marker.
+     * Each line inherits the marker line's indentation.
+     */
+    std::string render(const std::vector<std::string>& loop_lines) const;
+
+    /** The original template text. */
+    const std::string& text() const { return _text; }
+
+    /** The marker string looked for in templates. */
+    static constexpr const char* marker = "#loop_code";
+
+  private:
+    std::string _text;
+    std::vector<std::string> _head;   ///< lines before the marker
+    std::vector<std::string> _tail;   ///< lines after the marker
+    std::string _indent;              ///< marker line indentation
+};
+
+} // namespace isa
+} // namespace gest
+
+#endif // GEST_ISA_ASM_TEMPLATE_HH

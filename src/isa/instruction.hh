@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Instruction definitions and instances.
+ *
+ * An InstructionDef mirrors the paper's Figure 4: a unique name, a list of
+ * operand-definition ids, a `format` string in which op1..opN are replaced
+ * by the chosen operand values, a classification type and a semantic
+ * opcode. An InstructionInstance is one concrete choice of operand values —
+ * the unit the GA's genome is made of.
+ */
+
+#ifndef GEST_ISA_INSTRUCTION_HH
+#define GEST_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr_class.hh"
+#include "isa/operand.hh"
+
+namespace gest {
+namespace isa {
+
+/**
+ * A user- or library-defined instruction template.
+ *
+ * Operand slots are stored as indices into the owning
+ * InstructionLibrary's operand table (resolved from ids when the
+ * instruction is added).
+ */
+struct InstructionDef
+{
+    /** Unique instruction name. */
+    std::string name;
+
+    /** Indices into the library's operand table, one per operand slot. */
+    std::vector<std::uint32_t> operandIndex;
+
+    /** Output format, e.g. "LDR op1,[op2,#op3]". */
+    std::string format;
+
+    /** Breakdown class (ShortInt/LongInt/Float-SIMD/Mem/Branch/Nop). */
+    InstrClass cls = InstrClass::Nop;
+
+    /** Semantic opcode the simulator executes. */
+    Opcode opcode = Opcode::Nop;
+};
+
+/**
+ * One gene: an instruction definition plus a concrete value choice for
+ * every operand slot. Choices are indices into the respective operand
+ * definitions' value lists.
+ */
+struct InstructionInstance
+{
+    /** Index of the InstructionDef in the owning library. */
+    std::uint32_t defIndex = 0;
+
+    /** Per-slot value index into the operand definition's value list. */
+    std::vector<std::uint32_t> operandChoice;
+
+    bool operator==(const InstructionInstance&) const = default;
+};
+
+} // namespace isa
+} // namespace gest
+
+#endif // GEST_ISA_INSTRUCTION_HH

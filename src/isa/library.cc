@@ -1,0 +1,211 @@
+#include "isa/library.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace isa {
+
+void
+InstructionLibrary::addOperand(OperandDef def)
+{
+    if (findOperand(def.id()) >= 0)
+        fatal("duplicate operand id '", def.id(), "'");
+    _operands.push_back(std::move(def));
+}
+
+void
+InstructionLibrary::addInstruction(std::string name,
+                                   const std::vector<std::string>&
+                                       operand_ids,
+                                   std::string format, InstrClass cls,
+                                   Opcode opcode)
+{
+    if (findInstruction(name) >= 0)
+        fatal("duplicate instruction name '", name, "'");
+
+    InstructionDef def;
+    def.name = std::move(name);
+    def.format = std::move(format);
+    def.cls = cls;
+    def.opcode = opcode;
+    for (const std::string& id : operand_ids) {
+        const int index = findOperand(id);
+        if (index < 0)
+            fatal("instruction '", def.name,
+                  "' references undefined operand id '", id, "'");
+        def.operandIndex.push_back(static_cast<std::uint32_t>(index));
+    }
+
+    // The format must reference every slot so rendered code is complete.
+    for (std::size_t slot = 0; slot < def.operandIndex.size(); ++slot) {
+        const std::string token = "op" + std::to_string(slot + 1);
+        if (def.format.find(token) == std::string::npos)
+            fatal("instruction '", def.name, "' format '", def.format,
+                  "' does not mention ", token);
+    }
+
+    _instructions.push_back(std::move(def));
+}
+
+const InstructionDef&
+InstructionLibrary::instruction(std::size_t index) const
+{
+    if (index >= _instructions.size())
+        panic("instruction index ", index, " out of range");
+    return _instructions[index];
+}
+
+const OperandDef&
+InstructionLibrary::operand(std::size_t index) const
+{
+    if (index >= _operands.size())
+        panic("operand index ", index, " out of range");
+    return _operands[index];
+}
+
+int
+InstructionLibrary::findInstruction(std::string_view name) const
+{
+    for (std::size_t i = 0; i < _instructions.size(); ++i) {
+        if (_instructions[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+InstructionLibrary::findOperand(std::string_view id) const
+{
+    for (std::size_t i = 0; i < _operands.size(); ++i) {
+        if (_operands[i].id() == id)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::uint64_t
+InstructionLibrary::variantCount(std::size_t def_index) const
+{
+    const InstructionDef& def = instruction(def_index);
+    std::uint64_t count = 1;
+    for (std::uint32_t op_index : def.operandIndex)
+        count *= _operands[op_index].valueCount();
+    return count;
+}
+
+InstructionInstance
+InstructionLibrary::makeInstance(
+    std::string_view name,
+    const std::vector<std::string>& operand_values) const
+{
+    const int def_index = findInstruction(name);
+    if (def_index < 0)
+        fatal("makeInstance: unknown instruction '", std::string(name),
+              "'");
+    const InstructionDef& def =
+        _instructions[static_cast<std::size_t>(def_index)];
+    if (operand_values.size() != def.operandIndex.size())
+        fatal("makeInstance: instruction '", def.name, "' takes ",
+              def.operandIndex.size(), " operands, got ",
+              operand_values.size());
+
+    InstructionInstance inst;
+    inst.defIndex = static_cast<std::uint32_t>(def_index);
+    for (std::size_t slot = 0; slot < operand_values.size(); ++slot) {
+        const OperandDef& op = _operands[def.operandIndex[slot]];
+        bool found = false;
+        for (std::size_t v = 0; v < op.valueCount(); ++v) {
+            if (op.renderValue(v) == operand_values[slot]) {
+                inst.operandChoice.push_back(
+                    static_cast<std::uint32_t>(v));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("makeInstance: '", operand_values[slot],
+                  "' is not an allowed value of operand '", op.id(),
+                  "' for instruction '", def.name, "'");
+    }
+    return inst;
+}
+
+InstructionInstance
+InstructionLibrary::randomInstance(Rng& rng) const
+{
+    if (_instructions.empty())
+        fatal("cannot generate individuals from an empty instruction "
+              "library");
+    return randomInstanceOf(rng.pickIndex(_instructions.size()), rng);
+}
+
+InstructionInstance
+InstructionLibrary::randomInstanceOf(std::size_t def_index, Rng& rng) const
+{
+    const InstructionDef& def = instruction(def_index);
+    InstructionInstance inst;
+    inst.defIndex = static_cast<std::uint32_t>(def_index);
+    inst.operandChoice.reserve(def.operandIndex.size());
+    for (std::uint32_t op_index : def.operandIndex) {
+        const std::size_t count = _operands[op_index].valueCount();
+        inst.operandChoice.push_back(
+            static_cast<std::uint32_t>(rng.pickIndex(count)));
+    }
+    return inst;
+}
+
+void
+InstructionLibrary::mutateOperand(InstructionInstance& inst, Rng& rng) const
+{
+    const InstructionDef& def = instruction(inst.defIndex);
+    if (def.operandIndex.empty())
+        return;
+    const std::size_t slot = rng.pickIndex(def.operandIndex.size());
+    const std::size_t count =
+        _operands[def.operandIndex[slot]].valueCount();
+    inst.operandChoice[slot] =
+        static_cast<std::uint32_t>(rng.pickIndex(count));
+}
+
+std::string
+InstructionLibrary::render(const InstructionInstance& inst) const
+{
+    const InstructionDef& def = instruction(inst.defIndex);
+    if (inst.operandChoice.size() != def.operandIndex.size())
+        panic("instance of '", def.name, "' has ",
+              inst.operandChoice.size(), " operand choices, expected ",
+              def.operandIndex.size());
+
+    std::string out = def.format;
+    // Replace higher-numbered slots first so "op12" is not clobbered by
+    // the "op1" replacement.
+    for (std::size_t slot = def.operandIndex.size(); slot-- > 0;) {
+        const OperandDef& op = _operands[def.operandIndex[slot]];
+        const std::string token = "op" + std::to_string(slot + 1);
+        out = replaceAll(std::move(out), token,
+                         op.renderValue(inst.operandChoice[slot]));
+    }
+    return out;
+}
+
+bool
+InstructionLibrary::valid(const InstructionInstance& inst) const
+{
+    if (inst.defIndex >= _instructions.size())
+        return false;
+    const InstructionDef& def = _instructions[inst.defIndex];
+    if (inst.operandChoice.size() != def.operandIndex.size())
+        return false;
+    for (std::size_t slot = 0; slot < def.operandIndex.size(); ++slot) {
+        const OperandDef& op = _operands[def.operandIndex[slot]];
+        if (inst.operandChoice[slot] >= op.valueCount())
+            return false;
+    }
+    return true;
+}
+
+} // namespace isa
+} // namespace gest

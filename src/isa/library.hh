@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The instruction library: the alphabet of the GA search.
+ *
+ * Owns all operand definitions and instruction definitions declared in a
+ * configuration (or built programmatically for the bundled platforms) and
+ * provides the primitive operations the GA engine needs: random instance
+ * generation, operand mutation and rendering to source text.
+ */
+
+#ifndef GEST_ISA_LIBRARY_HH
+#define GEST_ISA_LIBRARY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/operand.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace isa {
+
+/**
+ * Registry of operand and instruction definitions with stable indices.
+ */
+class InstructionLibrary
+{
+  public:
+    /** Register an operand definition; fatal() on duplicate id. */
+    void addOperand(OperandDef def);
+
+    /**
+     * Register an instruction definition.
+     *
+     * @param name unique instruction name
+     * @param operand_ids ids of previously added operands, slot order
+     * @param format output format with op1..opN placeholders
+     * @param cls breakdown class
+     * @param opcode semantic opcode for the simulator
+     *
+     * fatal() on duplicate names or undefined operand ids (the paper:
+     * "If the instruction definition contains an undefined operand id,
+     * the framework will terminate the execution").
+     */
+    void addInstruction(std::string name,
+                        const std::vector<std::string>& operand_ids,
+                        std::string format, InstrClass cls, Opcode opcode);
+
+    /** Number of instruction definitions. */
+    std::size_t numInstructions() const { return _instructions.size(); }
+
+    /** Number of operand definitions. */
+    std::size_t numOperands() const { return _operands.size(); }
+
+    /** Instruction definition by index. */
+    const InstructionDef& instruction(std::size_t index) const;
+
+    /** Operand definition by index. */
+    const OperandDef& operand(std::size_t index) const;
+
+    /** Find an instruction definition index by name; -1 if absent. */
+    int findInstruction(std::string_view name) const;
+
+    /** Find an operand definition index by id; -1 if absent. */
+    int findOperand(std::string_view id) const;
+
+    /**
+     * Number of distinct concrete forms of instruction @p def_index
+     * (the paper's example: LDR with 3 x 1 x 33 = 99 variants).
+     */
+    std::uint64_t variantCount(std::size_t def_index) const;
+
+    /**
+     * Build a concrete instance from explicit operand value texts, e.g.
+     * makeInstance("LDR", {"x2", "x10", "16"}). Each value must be one
+     * of the operand definition's allowed values; fatal() otherwise.
+     * Used by the hand-written baseline workloads and by tests.
+     */
+    InstructionInstance makeInstance(
+        std::string_view name,
+        const std::vector<std::string>& operand_values) const;
+
+    /** Draw a uniformly random instruction instance. */
+    InstructionInstance randomInstance(Rng& rng) const;
+
+    /** Draw a random instance of a specific instruction definition. */
+    InstructionInstance randomInstanceOf(std::size_t def_index,
+                                         Rng& rng) const;
+
+    /**
+     * Mutate one randomly chosen operand of @p inst to a new random value
+     * (the paper's operand-level mutation). Instructions without operands
+     * are left unchanged.
+     */
+    void mutateOperand(InstructionInstance& inst, Rng& rng) const;
+
+    /** Render an instance to one line of assembly source. */
+    std::string render(const InstructionInstance& inst) const;
+
+    /** Validate that an instance's indices are in range. */
+    bool valid(const InstructionInstance& inst) const;
+
+  private:
+    std::vector<OperandDef> _operands;
+    std::vector<InstructionDef> _instructions;
+};
+
+} // namespace isa
+} // namespace gest
+
+#endif // GEST_ISA_LIBRARY_HH

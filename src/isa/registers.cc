@@ -1,0 +1,81 @@
+#include "isa/registers.hh"
+
+#include <cctype>
+
+#include "util/strutil.hh"
+
+namespace gest {
+namespace isa {
+
+namespace {
+
+/** Parse a trailing decimal index; @return -1 on failure. */
+int
+parseIndex(std::string_view digits)
+{
+    if (digits.empty() || digits.size() > 2)
+        return -1;
+    int value = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return -1;
+        value = value * 10 + (c - '0');
+    }
+    return value;
+}
+
+} // namespace
+
+bool
+parseRegister(std::string_view name, RegRef& out)
+{
+    const std::string n = toLower(trim(name));
+    if (n.empty())
+        return false;
+
+    // x86-64 named GPRs map onto integer indices 0-15.
+    struct Named { const char* name; int index; };
+    static const Named x86Names[] = {
+        {"rax", 0}, {"rcx", 1}, {"rdx", 2}, {"rbx", 3},
+        {"rsp", 4}, {"rbp", 5}, {"rsi", 6}, {"rdi", 7},
+        {"eax", 0}, {"ecx", 1}, {"edx", 2}, {"ebx", 3},
+    };
+    for (const Named& reg : x86Names) {
+        if (n == reg.name) {
+            out = {RegClass::Int, reg.index};
+            return true;
+        }
+    }
+    if (n == "sp") {
+        out = {RegClass::Int, 31};
+        return true;
+    }
+
+    // Prefixed forms: letter(s) + index.
+    std::size_t prefix_len = 0;
+    while (prefix_len < n.size() &&
+           std::isalpha(static_cast<unsigned char>(n[prefix_len])))
+        ++prefix_len;
+    const std::string prefix = n.substr(0, prefix_len);
+    const int index = parseIndex(n.substr(prefix_len));
+    if (index < 0)
+        return false;
+
+    if (prefix == "x" || prefix == "w" || prefix == "r") {
+        if (index >= numIntRegs)
+            return false;
+        out = {RegClass::Int, index};
+        return true;
+    }
+    if (prefix == "v" || prefix == "q" || prefix == "d" || prefix == "s" ||
+        prefix == "xmm" || prefix == "ymm" || prefix == "zmm") {
+        if (index >= numVecRegs)
+            return false;
+        out = {RegClass::Vec, index};
+        return true;
+    }
+    return false;
+}
+
+} // namespace isa
+} // namespace gest

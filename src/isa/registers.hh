@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Register-name parsing.
+ *
+ * Operand definitions name registers as free-form strings ("x2 x3 x4" in
+ * the paper's Figure 4). The simulator needs architectural indices, so this
+ * module maps the common ARM (A64/A32) and x86-64 spellings onto a simple
+ * two-class register model: 32 integer registers and 32 vector registers.
+ */
+
+#ifndef GEST_ISA_REGISTERS_HH
+#define GEST_ISA_REGISTERS_HH
+
+#include <string>
+#include <string_view>
+
+namespace gest {
+namespace isa {
+
+/** Architectural register class in the simulator's register model. */
+enum class RegClass
+{
+    Int, ///< general-purpose integer register (64-bit)
+    Vec, ///< FP/SIMD register (128-bit)
+};
+
+/** A parsed register reference. */
+struct RegRef
+{
+    RegClass cls = RegClass::Int;
+    int index = 0;
+
+    bool operator==(const RegRef&) const = default;
+};
+
+/**
+ * Parse a register name. Understands ARM A64 (x0-x30, w0-w30, sp, v/q/d/s
+ * 0-31), ARM A32 (r0-r15), and x86-64 (rax...r15, xmm/ymm/zmm 0-31).
+ *
+ * @return true and fill @p out on success; false for non-register text.
+ */
+bool parseRegister(std::string_view name, RegRef& out);
+
+/** Number of integer registers in the simulator's register model. */
+constexpr int numIntRegs = 32;
+
+/** Number of vector registers in the simulator's register model. */
+constexpr int numVecRegs = 32;
+
+} // namespace isa
+} // namespace gest
+
+#endif // GEST_ISA_REGISTERS_HH

@@ -1,0 +1,358 @@
+#include "isa/standard_libs.hh"
+
+namespace gest {
+namespace isa {
+
+InstructionLibrary
+armLikeLibrary()
+{
+    InstructionLibrary lib;
+
+    // Register pools. x10 is the memory base (initialized by the
+    // template/platform to point at a small, cache-resident buffer);
+    // x2/x3 receive load results and are intentionally disjoint from the
+    // compute pool x4-x9 (§III.B.1's dependency-avoidance advice).
+    lib.addOperand(OperandDef::makeRegisters(
+        "int_reg", {"x4", "x5", "x6", "x7", "x8", "x9"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "mem_result", {"x2", "x3"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "mem_address_register", {"x10"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "vec_reg", {"v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"}));
+    // d/q names alias the v registers (AArch64 scalar views of the SIMD
+    // register file); the simulator resolves them to the same Vec file.
+    lib.addOperand(OperandDef::makeRegisters(
+        "fp_scalar_reg", {"d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "vec_q_reg", {"q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7"}));
+    lib.addOperand(OperandDef::makeImmediate("immediate_value", 0, 256, 8));
+    lib.addOperand(OperandDef::makeImmediate("shift_amount", 0, 31, 1));
+
+    // Short-latency integer.
+    lib.addInstruction("ADD", {"int_reg", "int_reg", "int_reg"},
+                       "ADD op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Add);
+    lib.addInstruction("SUB", {"int_reg", "int_reg", "int_reg"},
+                       "SUB op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Sub);
+    lib.addInstruction("EOR", {"int_reg", "int_reg", "int_reg"},
+                       "EOR op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Eor);
+    lib.addInstruction("ORR", {"int_reg", "int_reg", "int_reg"},
+                       "ORR op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Orr);
+    lib.addInstruction("LSL", {"int_reg", "int_reg", "shift_amount"},
+                       "LSL op1, op2, #op3", InstrClass::ShortInt,
+                       Opcode::Lsl);
+
+    // Long-latency integer.
+    lib.addInstruction("MUL", {"int_reg", "int_reg", "int_reg"},
+                       "MUL op1, op2, op3", InstrClass::LongInt,
+                       Opcode::Mul);
+    lib.addInstruction("MADD",
+                       {"int_reg", "int_reg", "int_reg", "int_reg"},
+                       "MADD op1, op2, op3, op4", InstrClass::LongInt,
+                       Opcode::MAdd);
+    lib.addInstruction("UDIV", {"int_reg", "int_reg", "int_reg"},
+                       "UDIV op1, op2, op3", InstrClass::LongInt,
+                       Opcode::UDiv);
+
+    // Scalar FP and SIMD (128-bit vector forms).
+    lib.addInstruction("FADD", {"vec_reg", "vec_reg", "vec_reg"},
+                       "FADD op1.2D, op2.2D, op3.2D",
+                       InstrClass::FloatSimd, Opcode::VAdd);
+    lib.addInstruction("FMUL", {"vec_reg", "vec_reg", "vec_reg"},
+                       "FMUL op1.2D, op2.2D, op3.2D",
+                       InstrClass::FloatSimd, Opcode::VMul);
+    lib.addInstruction("FMLA", {"vec_reg", "vec_reg", "vec_reg"},
+                       "FMLA op1.2D, op2.2D, op3.2D",
+                       InstrClass::FloatSimd, Opcode::VFma);
+    lib.addInstruction("FADDS",
+                       {"fp_scalar_reg", "fp_scalar_reg", "fp_scalar_reg"},
+                       "FADD op1, op2, op3",
+                       InstrClass::FloatSimd, Opcode::FAdd);
+    lib.addInstruction("FMULS",
+                       {"fp_scalar_reg", "fp_scalar_reg", "fp_scalar_reg"},
+                       "FMUL op1, op2, op3",
+                       InstrClass::FloatSimd, Opcode::FMul);
+    lib.addInstruction("VAND", {"vec_reg", "vec_reg", "vec_reg"},
+                       "AND op1.16B, op2.16B, op3.16B",
+                       InstrClass::FloatSimd, Opcode::VAnd);
+
+    // Memory. Offsets stay within a 4 KiB cache-resident buffer.
+    lib.addInstruction("LDR",
+                       {"mem_result", "mem_address_register",
+                        "immediate_value"},
+                       "LDR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Load);
+    lib.addInstruction("STR",
+                       {"int_reg", "mem_address_register",
+                        "immediate_value"},
+                       "STR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Store);
+    lib.addInstruction("LDRQ",
+                       {"vec_q_reg", "mem_address_register",
+                        "immediate_value"},
+                       "LDR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Load);
+    lib.addInstruction("STRQ",
+                       {"vec_q_reg", "mem_address_register",
+                        "immediate_value"},
+                       "STR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Store);
+    lib.addInstruction("LDP",
+                       {"mem_result", "mem_result",
+                        "mem_address_register"},
+                       "LDP op1, op2, [op3]", InstrClass::Mem,
+                       Opcode::LoadPair);
+
+    // Control flow: an always-taken branch to the next instruction keeps
+    // the branch unit and fetch redirection busy without altering the
+    // loop's semantics.
+    lib.addInstruction("BNEXT", {}, "B .+4", InstrClass::Branch,
+                       Opcode::Branch);
+    lib.addInstruction("BNE", {}, "B.NE .+4", InstrClass::Branch,
+                       Opcode::BranchCond);
+
+    lib.addInstruction("NOP", {}, "NOP", InstrClass::Nop, Opcode::Nop);
+
+    return lib;
+}
+
+InstructionLibrary
+armV7LikeLibrary()
+{
+    InstructionLibrary lib;
+
+    // A32 register pools: r0 is reserved for the loop counter by the
+    // usual templates, r10 is the memory base, r2/r3 take load results
+    // and r4-r9 are the compute pool.
+    lib.addOperand(OperandDef::makeRegisters(
+        "int_reg", {"r4", "r5", "r6", "r7", "r8", "r9"}));
+    lib.addOperand(OperandDef::makeRegisters("mem_result", {"r2", "r3"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "mem_address_register", {"r10"}));
+    // NEON quad registers (128-bit) and double registers (64-bit).
+    lib.addOperand(OperandDef::makeRegisters(
+        "q_reg", {"q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "d_reg", {"d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"}));
+    // A32 LDR/STR immediate offsets: +/-4095; keep the cache-resident
+    // 0..256 window used throughout.
+    lib.addOperand(OperandDef::makeImmediate("immediate_value", 0, 256,
+                                             8));
+    lib.addOperand(OperandDef::makeImmediate("shift_amount", 0, 31, 1));
+
+    // Short-latency integer.
+    lib.addInstruction("ADD", {"int_reg", "int_reg", "int_reg"},
+                       "ADD op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Add);
+    lib.addInstruction("SUB", {"int_reg", "int_reg", "int_reg"},
+                       "SUB op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Sub);
+    lib.addInstruction("EOR", {"int_reg", "int_reg", "int_reg"},
+                       "EOR op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Eor);
+    lib.addInstruction("ORR", {"int_reg", "int_reg", "int_reg"},
+                       "ORR op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Orr);
+    lib.addInstruction("LSL", {"int_reg", "int_reg", "shift_amount"},
+                       "LSL op1, op2, #op3", InstrClass::ShortInt,
+                       Opcode::Lsl);
+
+    // Long-latency integer.
+    lib.addInstruction("MUL", {"int_reg", "int_reg", "int_reg"},
+                       "MUL op1, op2, op3", InstrClass::LongInt,
+                       Opcode::Mul);
+    lib.addInstruction("MLA",
+                       {"int_reg", "int_reg", "int_reg", "int_reg"},
+                       "MLA op1, op2, op3, op4", InstrClass::LongInt,
+                       Opcode::MAdd);
+    lib.addInstruction("SMULL_LO",
+                       {"int_reg", "int_reg", "int_reg"},
+                       "SMULL op1, r12, op2, op3", InstrClass::LongInt,
+                       Opcode::SMull);
+
+    // NEON: 128-bit quad forms and 64-bit scalar VFP forms.
+    lib.addInstruction("VADDQ", {"q_reg", "q_reg", "q_reg"},
+                       "VADD.F32 op1, op2, op3", InstrClass::FloatSimd,
+                       Opcode::VAdd);
+    lib.addInstruction("VMULQ", {"q_reg", "q_reg", "q_reg"},
+                       "VMUL.F32 op1, op2, op3", InstrClass::FloatSimd,
+                       Opcode::VMul);
+    lib.addInstruction("VMLAQ", {"q_reg", "q_reg", "q_reg"},
+                       "VMLA.F32 op1, op2, op3", InstrClass::FloatSimd,
+                       Opcode::VFma);
+    lib.addInstruction("VANDQ", {"q_reg", "q_reg", "q_reg"},
+                       "VAND op1, op2, op3", InstrClass::FloatSimd,
+                       Opcode::VAnd);
+    lib.addInstruction("VADDD", {"d_reg", "d_reg", "d_reg"},
+                       "VADD.F64 op1, op2, op3", InstrClass::FloatSimd,
+                       Opcode::FAdd);
+    lib.addInstruction("VMULD", {"d_reg", "d_reg", "d_reg"},
+                       "VMUL.F64 op1, op2, op3", InstrClass::FloatSimd,
+                       Opcode::FMul);
+
+    // Memory.
+    lib.addInstruction("LDR",
+                       {"mem_result", "mem_address_register",
+                        "immediate_value"},
+                       "LDR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Load);
+    lib.addInstruction("STR",
+                       {"int_reg", "mem_address_register",
+                        "immediate_value"},
+                       "STR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Store);
+    lib.addInstruction("VLDR",
+                       {"d_reg", "mem_address_register",
+                        "immediate_value"},
+                       "VLDR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Load);
+    lib.addInstruction("VSTR",
+                       {"d_reg", "mem_address_register",
+                        "immediate_value"},
+                       "VSTR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Store);
+
+    // Control flow: A32 branch to the next instruction.
+    lib.addInstruction("BNEXT", {}, "B .+8", InstrClass::Branch,
+                       Opcode::Branch);
+    lib.addInstruction("BNE", {}, "BNE .+8", InstrClass::Branch,
+                       Opcode::BranchCond);
+
+    lib.addInstruction("NOP", {}, "NOP", InstrClass::Nop, Opcode::Nop);
+
+    return lib;
+}
+
+InstructionLibrary
+armCacheStressLibrary()
+{
+    InstructionLibrary lib;
+
+    lib.addOperand(OperandDef::makeRegisters(
+        "int_reg", {"x4", "x5", "x6", "x7", "x8", "x9"}));
+    lib.addOperand(OperandDef::makeRegisters("mem_result", {"x2", "x3"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "mem_address_register", {"x10"}));
+    lib.addOperand(OperandDef::makeImmediate("immediate_value", 0, 256,
+                                             8));
+    // Pointer-advance strides: up to the AArch64 ADD imm12 limit so the
+    // rendered code stays assemblable. 64-byte granularity (one line).
+    lib.addOperand(OperandDef::makeImmediate("stride_value", 64, 4032,
+                                             64));
+
+    // Strided pointer advance: the knob that lets the GA walk the
+    // access stream through a footprint larger than L1/L2.
+    lib.addInstruction("ADVANCE",
+                       {"mem_address_register", "stride_value"},
+                       "ADD op1, op1, #op2", InstrClass::ShortInt,
+                       Opcode::AddWrap);
+
+    lib.addInstruction("LDR",
+                       {"mem_result", "mem_address_register",
+                        "immediate_value"},
+                       "LDR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Load);
+    lib.addInstruction("STR",
+                       {"int_reg", "mem_address_register",
+                        "immediate_value"},
+                       "STR op1, [op2, #op3]", InstrClass::Mem,
+                       Opcode::Store);
+    lib.addInstruction("LDP",
+                       {"mem_result", "mem_result",
+                        "mem_address_register"},
+                       "LDP op1, op2, [op3]", InstrClass::Mem,
+                       Opcode::LoadPair);
+
+    // Compute filler the GA must learn to displace.
+    lib.addInstruction("ADD", {"int_reg", "int_reg", "int_reg"},
+                       "ADD op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Add);
+    lib.addInstruction("EOR", {"int_reg", "int_reg", "int_reg"},
+                       "EOR op1, op2, op3", InstrClass::ShortInt,
+                       Opcode::Eor);
+    lib.addInstruction("MUL", {"int_reg", "int_reg", "int_reg"},
+                       "MUL op1, op2, op3", InstrClass::LongInt,
+                       Opcode::Mul);
+    lib.addInstruction("NOP", {}, "NOP", InstrClass::Nop, Opcode::Nop);
+
+    return lib;
+}
+
+InstructionLibrary
+x86LikeLibrary()
+{
+    InstructionLibrary lib;
+
+    lib.addOperand(OperandDef::makeRegisters(
+        "int_reg", {"rax", "rcx", "rdx", "rbx", "rsi", "rdi"}));
+    lib.addOperand(OperandDef::makeRegisters("mem_result", {"r9", "r11"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "mem_address_register", {"r10"}));
+    lib.addOperand(OperandDef::makeRegisters(
+        "vec_reg",
+        {"xmm0", "xmm1", "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7"}));
+    lib.addOperand(OperandDef::makeImmediate("immediate_value", 0, 256, 8));
+
+    // Short-latency integer (two-operand destructive forms).
+    lib.addInstruction("ADD", {"int_reg", "int_reg"},
+                       "add op1, op2", InstrClass::ShortInt, Opcode::Add);
+    lib.addInstruction("SUB", {"int_reg", "int_reg"},
+                       "sub op1, op2", InstrClass::ShortInt, Opcode::Sub);
+    lib.addInstruction("XOR", {"int_reg", "int_reg"},
+                       "xor op1, op2", InstrClass::ShortInt, Opcode::Eor);
+    lib.addInstruction("OR", {"int_reg", "int_reg"},
+                       "or op1, op2", InstrClass::ShortInt, Opcode::Orr);
+
+    // Long-latency integer.
+    lib.addInstruction("IMUL", {"int_reg", "int_reg"},
+                       "imul op1, op2", InstrClass::LongInt, Opcode::Mul);
+
+    // SSE2 packed FP (the Athlon II has 128-bit FP datapaths).
+    lib.addInstruction("ADDPD", {"vec_reg", "vec_reg"},
+                       "addpd op1, op2", InstrClass::FloatSimd,
+                       Opcode::VAdd);
+    lib.addInstruction("MULPD", {"vec_reg", "vec_reg"},
+                       "mulpd op1, op2", InstrClass::FloatSimd,
+                       Opcode::VMul);
+    lib.addInstruction("ADDSD", {"vec_reg", "vec_reg"},
+                       "addsd op1, op2", InstrClass::FloatSimd,
+                       Opcode::FAdd);
+    lib.addInstruction("MULSD", {"vec_reg", "vec_reg"},
+                       "mulsd op1, op2", InstrClass::FloatSimd,
+                       Opcode::FMul);
+    lib.addInstruction("PAND", {"vec_reg", "vec_reg"},
+                       "pand op1, op2", InstrClass::FloatSimd,
+                       Opcode::VAnd);
+
+    // Memory.
+    lib.addInstruction("LOAD",
+                       {"mem_result", "mem_address_register",
+                        "immediate_value"},
+                       "mov op1, [op2 + op3]", InstrClass::Mem,
+                       Opcode::Load);
+    lib.addInstruction("STORE",
+                       {"int_reg", "mem_address_register",
+                        "immediate_value"},
+                       "mov [op2 + op3], op1", InstrClass::Mem,
+                       Opcode::Store);
+    // movupd: the offset pool strides by 8, so accesses may be
+    // 16-byte-unaligned and the aligned form would fault.
+    lib.addInstruction("LOADPD",
+                       {"vec_reg", "mem_address_register",
+                        "immediate_value"},
+                       "movupd op1, [op2 + op3]", InstrClass::Mem,
+                       Opcode::Load);
+
+    lib.addInstruction("JNEXT", {}, "jmp .+2", InstrClass::Branch,
+                       Opcode::Branch);
+    lib.addInstruction("NOP", {}, "nop", InstrClass::Nop, Opcode::Nop);
+
+    return lib;
+}
+
+} // namespace isa
+} // namespace gest

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bundled instruction libraries.
+ *
+ * The paper ships measurement scripts and instruction definitions for ARM
+ * and x86 (§IV). These builders create the equivalent default libraries:
+ * an ARM-A64-flavoured set used for the Cortex-A15/A7 and X-Gene2
+ * experiments and an x86-64-flavoured set used for the AMD Athlon dI/dt
+ * experiment. Both follow the paper's register-allocation advice: memory
+ * destination registers are disjoint from the integer compute registers so
+ * the GA is never forced to make ALU operations depend on loads.
+ */
+
+#ifndef GEST_ISA_STANDARD_LIBS_HH
+#define GEST_ISA_STANDARD_LIBS_HH
+
+#include "isa/library.hh"
+
+namespace gest {
+namespace isa {
+
+/** ARM-A64-flavoured default library (integer, FP/SIMD, memory, branch). */
+InstructionLibrary armLikeLibrary();
+
+/**
+ * ARM-A32 (ARMv7) flavoured library: r-register integer ops, NEON
+ * d/q-register FP, and A32 addressing — the ISA the paper's Cortex-A15
+ * and Cortex-A7 boards actually run. Functionally equivalent to the
+ * A64 library for the simulator (same semantic opcodes); provided for
+ * faithful source generation on 32-bit targets.
+ */
+InstructionLibrary armV7LikeLibrary();
+
+/** x86-64-flavoured default library. */
+InstructionLibrary x86LikeLibrary();
+
+/**
+ * ARM-flavoured library for the LLC/DRAM stress extension (§VII): the
+ * memory pointer can be advanced with strided ADDWRAP instructions, so
+ * the GA controls the access stream's stride and footprint and can
+ * optimize for cache misses. Meant for platforms with an L2 model and a
+ * buffer larger than the caches.
+ */
+InstructionLibrary armCacheStressLibrary();
+
+/** The integer register holding the memory buffer base in both libraries. */
+constexpr int memBaseIntReg = 10;
+
+} // namespace isa
+} // namespace gest
+
+#endif // GEST_ISA_STANDARD_LIBS_HH

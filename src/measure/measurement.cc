@@ -1,0 +1,71 @@
+#include "measure/measurement.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace measure {
+
+void
+Measurement::init(const xml::Element* config)
+{
+    (void)config;
+}
+
+MeasurementRegistry&
+MeasurementRegistry::instance()
+{
+    static MeasurementRegistry registry;
+    return registry;
+}
+
+void
+MeasurementRegistry::registerFactory(const std::string& name,
+                                     Factory factory)
+{
+    if (contains(name))
+        fatal("measurement '", name, "' registered twice");
+    _factories.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Measurement>
+MeasurementRegistry::create(const std::string& name,
+                            const isa::InstructionLibrary& lib) const
+{
+    for (const auto& [registered, factory] : _factories) {
+        if (registered == name)
+            return factory(lib);
+    }
+    fatal("unknown measurement class '", name, "'; available: ",
+          [this] {
+              std::string all;
+              for (const std::string& n : names())
+                  all += (all.empty() ? "" : ", ") + n;
+              return all.empty() ? std::string("<none>") : all;
+          }());
+}
+
+bool
+MeasurementRegistry::contains(const std::string& name) const
+{
+    for (const auto& [registered, factory] : _factories) {
+        if (registered == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+MeasurementRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_factories.size());
+    for (const auto& [name, factory] : _factories)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace measure
+} // namespace gest

@@ -1,0 +1,70 @@
+#include "measure/noisy_measurement.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace measure {
+
+NoisyMeasurement::NoisyMeasurement(std::unique_ptr<Measurement> inner,
+                                   double relative_sigma,
+                                   std::uint64_t seed)
+    : _inner(std::move(inner)), _sigma(relative_sigma), _rng(seed)
+{
+    if (!_inner)
+        fatal("NoisyMeasurement needs an inner measurement");
+    if (relative_sigma < 0.0)
+        fatal("noise sigma must be non-negative, got ", relative_sigma);
+}
+
+void
+NoisyMeasurement::init(const xml::Element* config)
+{
+    if (!config)
+        return;
+    if (config->hasAttr("relative_sigma")) {
+        _sigma = parseDouble(config->attr("relative_sigma"),
+                             "relative_sigma");
+        if (_sigma < 0.0)
+            fatal("noise sigma must be non-negative, got ", _sigma);
+    }
+    if (config->hasAttr("seed"))
+        _rng = Rng(static_cast<std::uint64_t>(
+            parseInt(config->attr("seed"), "noise seed")));
+    _inner->init(config);
+}
+
+double
+NoisyMeasurement::normalDraw()
+{
+    // Irwin-Hall: the sum of 12 uniforms has variance 1 around mean 6.
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i)
+        sum += _rng.nextDouble();
+    return sum - 6.0;
+}
+
+MeasurementResult
+NoisyMeasurement::measure(
+    const std::vector<isa::InstructionInstance>& code)
+{
+    MeasurementResult result = _inner->measure(code);
+    for (double& value : result.values)
+        value *= 1.0 + _sigma * normalDraw();
+    return result;
+}
+
+std::vector<std::string>
+NoisyMeasurement::valueNames() const
+{
+    return _inner->valueNames();
+}
+
+std::string
+NoisyMeasurement::name() const
+{
+    return "Noisy(" + _inner->name() + ")";
+}
+
+} // namespace measure
+} // namespace gest

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Measurement-noise decorator.
+ *
+ * §IV of the paper: "optimizing on single core has the advantage of
+ * less measurement variability which helps the GA optimization to
+ * converge faster. This is especially true when runs are conducted
+ * within an OS environment." This decorator wraps any measurement and
+ * adds multiplicative Gaussian noise, so that claim can be studied
+ * quantitatively (see bench_ablation_noise): the same search converges
+ * slower and to worse results as variability grows.
+ */
+
+#ifndef GEST_MEASURE_NOISY_MEASUREMENT_HH
+#define GEST_MEASURE_NOISY_MEASUREMENT_HH
+
+#include <memory>
+
+#include "measure/measurement.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace measure {
+
+/**
+ * Wraps a measurement, scaling every returned value by a factor of
+ * (1 + e) with e drawn from an approximately normal distribution of the
+ * configured relative standard deviation. Deterministic for a given
+ * seed, so noisy experiments remain reproducible.
+ */
+class NoisyMeasurement : public Measurement
+{
+  public:
+    /**
+     * @param inner measurement to decorate (owned)
+     * @param relative_sigma relative standard deviation, e.g. 0.05
+     * @param seed noise stream seed
+     */
+    NoisyMeasurement(std::unique_ptr<Measurement> inner,
+                     double relative_sigma, std::uint64_t seed = 12345);
+
+    /** XML attributes: `relative_sigma`, `seed`. */
+    void init(const xml::Element* config) override;
+
+    MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+
+    std::vector<std::string> valueNames() const override;
+
+    std::string name() const override;
+
+    /** The wrapped measurement. */
+    const Measurement& inner() const { return *_inner; }
+
+    /** Configured relative standard deviation. */
+    double relativeSigma() const { return _sigma; }
+
+  private:
+    /** Approximately standard-normal draw (Irwin-Hall, 12 uniforms). */
+    double normalDraw();
+
+    std::unique_ptr<Measurement> _inner;
+    double _sigma;
+    Rng _rng;
+};
+
+} // namespace measure
+} // namespace gest
+
+#endif // GEST_MEASURE_NOISY_MEASUREMENT_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Measurements against the simulated platforms.
+ *
+ * These are the counterparts of the paper's measurement scripts: the ARM
+ * energy probe (power), the i2c temperature sensor, the perf IPC reader
+ * and the oscilloscope peak-to-peak voltage capture. Each either receives
+ * its platform programmatically or resolves it from its XML configuration
+ * (`platform="cortex-a15"`), mirroring how the Python framework keeps
+ * measurement parameters in a separate configuration file.
+ */
+
+#ifndef GEST_MEASURE_SIM_MEASUREMENTS_HH
+#define GEST_MEASURE_SIM_MEASUREMENTS_HH
+
+#include <memory>
+
+#include "measure/measurement.hh"
+#include "platform/platform.hh"
+
+namespace gest {
+namespace measure {
+
+/** Common plumbing: platform resolution and simulation length. */
+class SimMeasurementBase : public Measurement
+{
+  public:
+    SimMeasurementBase(
+        const isa::InstructionLibrary& lib,
+        std::shared_ptr<const platform::Platform> plat = nullptr);
+
+    /**
+     * XML attributes: `platform` (preset name, required unless the
+     * platform was passed programmatically) and `min_cycles`.
+     */
+    void init(const xml::Element* config) override;
+
+    /** The platform measured against; fatal() if none configured. */
+    const platform::Platform& platform() const;
+
+  protected:
+    /** Run the full platform evaluation for a loop body. */
+    platform::Evaluation evaluate(
+        const std::vector<isa::InstructionInstance>& code,
+        bool want_voltage) const;
+
+    const isa::InstructionLibrary& _lib;
+    std::shared_ptr<const platform::Platform> _platform;
+    std::uint64_t _minCycles = 4096;
+};
+
+/** Average power, the ARM-energy-probe analog (Figures 5 and 6). */
+class SimPowerMeasurement : public SimMeasurementBase
+{
+  public:
+    using SimMeasurementBase::SimMeasurementBase;
+    MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+    std::vector<std::string> valueNames() const override;
+    std::string name() const override { return "SimPowerMeasurement"; }
+};
+
+/** Die temperature, the i2c-sensor analog (Figure 7). */
+class SimTemperatureMeasurement : public SimMeasurementBase
+{
+  public:
+    using SimMeasurementBase::SimMeasurementBase;
+
+    /**
+     * Extra XML attribute `transient_seconds`: when positive, report
+     * the die temperature after running the workload for that many
+     * seconds from the idle state (what an i2c sensor poll sees during
+     * a short measurement window) instead of the settled equilibrium.
+     */
+    void init(const xml::Element* config) override;
+
+    MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+    std::vector<std::string> valueNames() const override;
+    std::string
+    name() const override
+    {
+        return "SimTemperatureMeasurement";
+    }
+
+    /** Set the transient window programmatically (0 = steady state). */
+    void setTransientSeconds(double seconds);
+
+  private:
+    double _transientSeconds = 0.0;
+};
+
+/** IPC, the Linux-perf analog (the X-Gene2 IPC virus). */
+class SimIpcMeasurement : public SimMeasurementBase
+{
+  public:
+    using SimMeasurementBase::SimMeasurementBase;
+    MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+    std::vector<std::string> valueNames() const override;
+    std::string name() const override { return "SimIpcMeasurement"; }
+};
+
+/** Peak-to-peak voltage noise, the oscilloscope analog (§VI). */
+class SimVoltageNoiseMeasurement : public SimMeasurementBase
+{
+  public:
+    SimVoltageNoiseMeasurement(
+        const isa::InstructionLibrary& lib,
+        std::shared_ptr<const platform::Platform> plat = nullptr);
+    MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+    std::vector<std::string> valueNames() const override;
+    std::string
+    name() const override
+    {
+        return "SimVoltageNoiseMeasurement";
+    }
+};
+
+/**
+ * Cache-miss / DRAM-traffic measurement for the LLC stress extension
+ * (§VII): the fitness-driving first value is DRAM accesses (L2 misses)
+ * per thousand instructions. Requires a platform with an L2 model.
+ */
+class SimCacheMissMeasurement : public SimMeasurementBase
+{
+  public:
+    SimCacheMissMeasurement(
+        const isa::InstructionLibrary& lib,
+        std::shared_ptr<const platform::Platform> plat = nullptr);
+    MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+    std::vector<std::string> valueNames() const override;
+    std::string
+    name() const override
+    {
+        return "SimCacheMissMeasurement";
+    }
+};
+
+/** Register the five simulated measurements (idempotent). */
+void registerSimMeasurements();
+
+} // namespace measure
+} // namespace gest
+
+#endif // GEST_MEASURE_SIM_MEASUREMENTS_HH

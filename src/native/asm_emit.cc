@@ -1,0 +1,102 @@
+#include "native/asm_emit.hh"
+
+#include <cstdio>
+
+namespace gest {
+namespace native {
+
+namespace {
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace
+
+std::string
+emitX86Program(const isa::InstructionLibrary& lib,
+               const std::vector<isa::InstructionInstance>& code,
+               const EmitOptions& options)
+{
+    std::string out;
+    out += ".intel_syntax noprefix\n";
+    out += ".text\n";
+    out += ".globl _start\n";
+    out += "_start:\n";
+
+    // Checkerboard initialization of the integer pools.
+    for (const char* reg :
+         {"rax", "rcx", "rdx", "rbx", "rsi", "rdi", "r9", "r11"}) {
+        out += "    mov ";
+        out += reg;
+        out += ", ";
+        out += hex64(options.pattern);
+        out += "\n";
+    }
+    // Vector pool: broadcast the pattern through rax.
+    for (int v = 0; v < 8; ++v) {
+        out += "    movq xmm" + std::to_string(v) + ", rax\n";
+        out += "    movddup xmm" + std::to_string(v) + ", xmm" +
+               std::to_string(v) + "\n";
+    }
+    out += "    lea r10, [rip + gest_buffer]\n";
+    out += "    mov r12, " + std::to_string(options.iterations) + "\n";
+    out += "gest_loop:\n";
+    for (const isa::InstructionInstance& inst : code)
+        out += "    " + lib.render(inst) + "\n";
+    out += "    dec r12\n";
+    out += "    jnz gest_loop\n";
+    // exit(0) without libc.
+    out += "    mov eax, 60\n";
+    out += "    xor edi, edi\n";
+    out += "    syscall\n";
+    out += ".bss\n";
+    out += ".align 64\n";
+    out += "gest_buffer:\n";
+    out += "    .zero " + std::to_string(options.bufferBytes) + "\n";
+    return out;
+}
+
+std::string
+emitA64Program(const isa::InstructionLibrary& lib,
+               const std::vector<isa::InstructionInstance>& code,
+               const EmitOptions& options)
+{
+    std::string out;
+    out += ".text\n";
+    out += ".globl _start\n";
+    out += "_start:\n";
+
+    // Checkerboard initialization: integer compute pool, load-result
+    // pool and the SIMD registers.
+    out += "    ldr x0, =" + hex64(options.pattern) + "\n";
+    for (int reg = 2; reg <= 9; ++reg)
+        out += "    mov x" + std::to_string(reg) + ", x0\n";
+    for (int v = 0; v < 8; ++v)
+        out += "    dup v" + std::to_string(v) + ".2d, x0\n";
+    out += "    adrp x10, gest_buffer\n";
+    out += "    add x10, x10, :lo12:gest_buffer\n";
+    out += "    ldr x1, =" + std::to_string(options.iterations) + "\n";
+    out += "gest_loop:\n";
+    for (const isa::InstructionInstance& inst : code)
+        out += "    " + lib.render(inst) + "\n";
+    out += "    subs x1, x1, #1\n";
+    out += "    b.ne gest_loop\n";
+    // exit(0) via svc.
+    out += "    mov x8, #93\n";
+    out += "    mov x0, #0\n";
+    out += "    svc #0\n";
+    out += ".bss\n";
+    out += ".align 6\n";
+    out += "gest_buffer:\n";
+    out += "    .zero " + std::to_string(options.bufferBytes) + "\n";
+    return out;
+}
+
+} // namespace native
+} // namespace gest

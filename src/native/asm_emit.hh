@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Native assembly emission.
+ *
+ * Turns an individual into a complete, self-contained assembly program:
+ * the equivalent of printing the individual into the paper's template
+ * source file and compiling it on the target. The built-in templates
+ * initialize every pool register with a checkerboard pattern (§III.B.2),
+ * point the base register at a cache-resident buffer, and run the loop
+ * body for a fixed iteration count with no libc dependency (the x86-64
+ * program exits through the exit syscall), so startup cost is
+ * negligible for counter measurements.
+ */
+
+#ifndef GEST_NATIVE_ASM_EMIT_HH
+#define GEST_NATIVE_ASM_EMIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/library.hh"
+
+namespace gest {
+namespace native {
+
+/** Emission parameters. */
+struct EmitOptions
+{
+    /** Loop iterations the program executes. */
+    std::uint64_t iterations = 2'000'000;
+
+    /** Register/buffer initialization pattern. */
+    std::uint64_t pattern = 0xaaaaaaaaaaaaaaaaULL;
+
+    /** Data buffer size in bytes. */
+    std::uint32_t bufferBytes = 4096;
+};
+
+/**
+ * Emit a complete x86-64 GNU-as program (Intel syntax, no libc) running
+ * the loop body. Integer pool registers rax/rcx/rdx/rbx/rsi/rdi and
+ * r9/r11 are initialized with the checkerboard pattern, r10 points at
+ * the buffer and r12 is the loop counter.
+ */
+std::string emitX86Program(const isa::InstructionLibrary& lib,
+                           const std::vector<isa::InstructionInstance>&
+                               code,
+                           const EmitOptions& options = {});
+
+/**
+ * Emit a complete AArch64 GNU-as program for the ARM library (for
+ * cross-compilation or on-target builds, as the original tool does over
+ * ssh).
+ */
+std::string emitA64Program(const isa::InstructionLibrary& lib,
+                           const std::vector<isa::InstructionInstance>&
+                               code,
+                           const EmitOptions& options = {});
+
+} // namespace native
+} // namespace gest
+
+#endif // GEST_NATIVE_ASM_EMIT_HH

@@ -1,0 +1,78 @@
+#include "native/native_measurement.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace native {
+
+NativePerfMeasurement::NativePerfMeasurement(
+    const isa::InstructionLibrary& lib)
+    : _lib(lib), _runner(std::make_unique<NativeRunner>())
+{}
+
+void
+NativePerfMeasurement::init(const xml::Element* config)
+{
+    if (!config)
+        return;
+    if (config->hasAttr("iterations")) {
+        const std::int64_t iterations =
+            parseInt(config->attr("iterations"), "iterations");
+        if (iterations < 1)
+            fatal("iterations must be positive, got ", iterations);
+        _options.iterations = static_cast<std::uint64_t>(iterations);
+    }
+}
+
+measure::MeasurementResult
+NativePerfMeasurement::measure(
+    const std::vector<isa::InstructionInstance>& code)
+{
+    const std::string program = emitX86Program(_lib, code, _options);
+    const RunOutcome outcome = _runner->assembleAndRun(program);
+    if (outcome.exitStatus != 0)
+        fatal("generated individual exited with status ",
+              outcome.exitStatus);
+
+    const double ipc = outcome.ipc().value_or(0.0);
+    const double ips =
+        outcome.instructions && outcome.wallSeconds > 0.0
+            ? *outcome.instructions / outcome.wallSeconds
+            : 0.0;
+    const double watts =
+        outcome.packageJoules && outcome.wallSeconds > 0.0
+            ? *outcome.packageJoules / outcome.wallSeconds
+            : 0.0;
+    return {{ipc, ips, watts}};
+}
+
+std::vector<std::string>
+NativePerfMeasurement::valueNames() const
+{
+    return {"ipc", "instructions_per_second", "package_watts"};
+}
+
+bool
+NativePerfMeasurement::available()
+{
+    return NativeRunner::toolchainAvailable() &&
+           NativeRunner::perfAvailable();
+}
+
+void
+registerNativeMeasurements()
+{
+    measure::MeasurementRegistry& registry =
+        measure::MeasurementRegistry::instance();
+    if (registry.contains("NativePerfMeasurement"))
+        return;
+    registry.registerFactory(
+        "NativePerfMeasurement",
+        [](const isa::InstructionLibrary& lib) {
+            return std::make_unique<NativePerfMeasurement>(lib);
+        });
+}
+
+} // namespace native
+} // namespace gest

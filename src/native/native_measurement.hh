@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Measurement that runs individuals on the host CPU.
+ *
+ * This is the closest analog of the original tool's operation: the
+ * individual is printed into a source template, assembled with the
+ * system toolchain, executed, and scored from hardware counters (IPC)
+ * and — when the host exposes RAPL — package power. Requires an x86-64
+ * host with perf_event access; availability is probed so callers can
+ * fall back to the simulated platforms.
+ */
+
+#ifndef GEST_NATIVE_NATIVE_MEASUREMENT_HH
+#define GEST_NATIVE_NATIVE_MEASUREMENT_HH
+
+#include <memory>
+
+#include "measure/measurement.hh"
+#include "native/asm_emit.hh"
+#include "native/runner.hh"
+
+namespace gest {
+namespace native {
+
+/**
+ * IPC (and package power, when readable) of an individual executed on
+ * the host. Value order: [ipc, instructions_per_second, package_watts]
+ * — package_watts is 0 when RAPL is unavailable.
+ */
+class NativePerfMeasurement : public measure::Measurement
+{
+  public:
+    explicit NativePerfMeasurement(const isa::InstructionLibrary& lib);
+
+    /** XML attributes: `iterations`. */
+    void init(const xml::Element* config) override;
+
+    measure::MeasurementResult measure(
+        const std::vector<isa::InstructionInstance>& code) override;
+
+    std::vector<std::string> valueNames() const override;
+
+    std::string name() const override
+    {
+        return "NativePerfMeasurement";
+    }
+
+    /** @return true when this host can run native measurements. */
+    static bool available();
+
+  private:
+    const isa::InstructionLibrary& _lib;
+    EmitOptions _options;
+    std::unique_ptr<NativeRunner> _runner;
+};
+
+/** Register the native measurement (idempotent). */
+void registerNativeMeasurements();
+
+} // namespace native
+} // namespace gest
+
+#endif // GEST_NATIVE_NATIVE_MEASUREMENT_HH

@@ -1,0 +1,133 @@
+#include "native/perf_events.hh"
+
+#include <cstring>
+#include <fcntl.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "util/fileutil.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace native {
+
+namespace {
+
+int
+perfEventOpen(std::uint32_t type, std::uint64_t config, pid_t pid)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 0;
+    attr.inherit = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, pid, -1, -1, 0));
+}
+
+} // namespace
+
+PerfCounters::~PerfCounters()
+{
+    close();
+}
+
+bool
+PerfCounters::attach(pid_t pid)
+{
+    _fdCycles = perfEventOpen(PERF_TYPE_HARDWARE,
+                              PERF_COUNT_HW_CPU_CYCLES, pid);
+    if (_fdCycles < 0)
+        return false;
+    _fdInstructions = perfEventOpen(PERF_TYPE_HARDWARE,
+                                    PERF_COUNT_HW_INSTRUCTIONS, pid);
+    if (_fdInstructions < 0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+PerfCounters::read(double& instructions, double& cycles)
+{
+    if (_fdCycles < 0 || _fdInstructions < 0)
+        return false;
+    std::uint64_t value = 0;
+    if (::read(_fdCycles, &value, sizeof(value)) != sizeof(value))
+        return false;
+    cycles = static_cast<double>(value);
+    if (::read(_fdInstructions, &value, sizeof(value)) != sizeof(value))
+        return false;
+    instructions = static_cast<double>(value);
+    return true;
+}
+
+void
+PerfCounters::close()
+{
+    if (_fdCycles >= 0)
+        ::close(_fdCycles);
+    if (_fdInstructions >= 0)
+        ::close(_fdInstructions);
+    _fdCycles = -1;
+    _fdInstructions = -1;
+}
+
+bool
+PerfCounters::available()
+{
+    PerfCounters probe;
+    const bool ok = probe.attach(0); // self
+    probe.close();
+    return ok;
+}
+
+bool
+RaplReader::open()
+{
+    for (const char* candidate :
+         {"/sys/class/powercap/intel-rapl:0/energy_uj",
+          "/sys/class/powercap/intel-rapl/intel-rapl:0/energy_uj"}) {
+        std::string contents;
+        if (tryReadFile(candidate, contents)) {
+            _path = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<double>
+RaplReader::energyJoules() const
+{
+    if (_path.empty())
+        return std::nullopt;
+    std::string contents;
+    if (!tryReadFile(_path, contents))
+        return std::nullopt;
+    const std::string t = trim(contents);
+    if (t.empty())
+        return std::nullopt;
+    char* end = nullptr;
+    const double uj = std::strtod(t.c_str(), &end);
+    if (end == t.c_str())
+        return std::nullopt;
+    return uj * 1e-6;
+}
+
+bool
+RaplReader::available()
+{
+    RaplReader probe;
+    return probe.open();
+}
+
+} // namespace native
+} // namespace gest

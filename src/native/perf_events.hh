@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Thin wrappers over perf_event_open(2) and the RAPL powercap sysfs.
+ *
+ * These are the real-hardware measurement instruments of this
+ * reproduction: the analog of the paper's Linux `perf` IPC reads and of
+ * a power meter. Both probe availability at runtime (containers often
+ * restrict perf_event_paranoid and powercap visibility).
+ */
+
+#ifndef GEST_NATIVE_PERF_EVENTS_HH
+#define GEST_NATIVE_PERF_EVENTS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <sys/types.h>
+
+namespace gest {
+namespace native {
+
+/**
+ * A cycles+instructions counter group attached to one process.
+ */
+class PerfCounters
+{
+  public:
+    PerfCounters() = default;
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    /**
+     * Attach to @p pid (all CPUs). @return false when the kernel refuses
+     * (permissions, missing PMU).
+     */
+    bool attach(pid_t pid);
+
+    /** Read both counters; valid after the target ran. */
+    bool read(double& instructions, double& cycles);
+
+    /** Close file descriptors. */
+    void close();
+
+    /** Quick self-test: can this process open counters at all? */
+    static bool available();
+
+  private:
+    int _fdCycles = -1;
+    int _fdInstructions = -1;
+};
+
+/**
+ * Reader for /sys/class/powercap/intel-rapl:0/energy_uj.
+ */
+class RaplReader
+{
+  public:
+    /** Locate a readable package-energy file; @return success. */
+    bool open();
+
+    /** Current cumulative energy in joules. */
+    std::optional<double> energyJoules() const;
+
+    /** @return true if a readable RAPL node exists on this host. */
+    static bool available();
+
+  private:
+    std::string _path;
+};
+
+} // namespace native
+} // namespace gest
+
+#endif // GEST_NATIVE_PERF_EVENTS_HH

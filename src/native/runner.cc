@@ -1,0 +1,124 @@
+#include "native/runner.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "native/perf_events.hh"
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace native {
+
+std::optional<double>
+RunOutcome::ipc() const
+{
+    if (instructions && cycles && *cycles > 0.0)
+        return *instructions / *cycles;
+    return std::nullopt;
+}
+
+NativeRunner::NativeRunner(bool keep_files)
+    : _dir(makeTempDir("gest-native")), _keep(keep_files)
+{}
+
+NativeRunner::~NativeRunner()
+{
+    if (!_keep)
+        removeAll(_dir);
+}
+
+bool
+NativeRunner::toolchainAvailable()
+{
+    return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+bool
+NativeRunner::perfAvailable()
+{
+    return PerfCounters::available();
+}
+
+bool
+NativeRunner::raplAvailable()
+{
+    return RaplReader::available();
+}
+
+RunOutcome
+NativeRunner::assembleAndRun(const std::string& asm_text)
+{
+    const std::string tag = std::to_string(_counter++);
+    const std::string src = _dir + "/individual_" + tag + ".s";
+    const std::string bin = _dir + "/individual_" + tag;
+    writeFile(src, asm_text);
+
+    const std::string compile = "cc -nostdlib -static -o '" + bin +
+                                "' '" + src + "' 2> '" + _dir +
+                                "/compile_" + tag + ".log'";
+    if (std::system(compile.c_str()) != 0)
+        fatal("failed to assemble generated individual (see ", _dir,
+              "/compile_", tag, ".log)");
+
+    RaplReader rapl;
+    const bool have_rapl = rapl.open();
+    const std::optional<double> energy_before =
+        have_rapl ? rapl.energyJoules() : std::nullopt;
+
+    // Gate the child on a pipe so counters attach before it executes.
+    int gate[2];
+    if (pipe(gate) != 0)
+        fatal("pipe() failed");
+
+    const auto start = std::chrono::steady_clock::now();
+    const pid_t child = fork();
+    if (child < 0)
+        fatal("fork() failed");
+    if (child == 0) {
+        close(gate[1]);
+        // Blocks until the parent closes its end (EOF) once counters
+        // are armed.
+        char token = 0;
+        (void)!read(gate[0], &token, 1);
+        close(gate[0]);
+        execl(bin.c_str(), bin.c_str(), static_cast<char*>(nullptr));
+        _exit(127);
+    }
+    close(gate[0]);
+
+    PerfCounters counters;
+    const bool have_perf = counters.attach(child);
+    close(gate[1]);
+
+    int status = 0;
+    waitpid(child, &status, 0);
+    const auto stop = std::chrono::steady_clock::now();
+
+    RunOutcome outcome;
+    outcome.exitStatus =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+    outcome.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+
+    if (have_perf) {
+        double instructions = 0.0;
+        double cycles = 0.0;
+        if (counters.read(instructions, cycles)) {
+            outcome.instructions = instructions;
+            outcome.cycles = cycles;
+        }
+    }
+    if (have_rapl && energy_before.has_value()) {
+        const double before = energy_before.value_or(0.0);
+        const std::optional<double> energy_after = rapl.energyJoules();
+        if (energy_after.has_value() && *energy_after >= before)
+            outcome.packageJoules = *energy_after - before;
+    }
+    return outcome;
+}
+
+} // namespace native
+} // namespace gest

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Assemble-and-execute driver for generated programs.
+ *
+ * The Python tool ships each individual's source to the target, compiles
+ * it there and runs the binary (§III.C). On a local x86-64 host this
+ * driver does the same with the system toolchain. All availability is
+ * probed at runtime so sandboxed environments degrade gracefully.
+ */
+
+#ifndef GEST_NATIVE_RUNNER_HH
+#define GEST_NATIVE_RUNNER_HH
+
+#include <optional>
+#include <string>
+#include <sys/types.h>
+
+namespace gest {
+namespace native {
+
+/** Result of executing a generated binary. */
+struct RunOutcome
+{
+    int exitStatus = -1;
+    double wallSeconds = 0.0;
+
+    /** Hardware counters, when perf was available. */
+    std::optional<double> instructions;
+    std::optional<double> cycles;
+
+    /** Package energy in joules, when RAPL was readable. */
+    std::optional<double> packageJoules;
+
+    /** instructions / cycles when both counters are present. */
+    std::optional<double> ipc() const;
+};
+
+/**
+ * Compiles and runs generated assembly in a scratch directory.
+ */
+class NativeRunner
+{
+  public:
+    /** @param keep_files keep scratch artifacts (debugging). */
+    explicit NativeRunner(bool keep_files = false);
+    ~NativeRunner();
+
+    NativeRunner(const NativeRunner&) = delete;
+    NativeRunner& operator=(const NativeRunner&) = delete;
+
+    /** @return true if a host assembler/linker (cc) is usable. */
+    static bool toolchainAvailable();
+
+    /** @return true if perf_event_open() works for this process. */
+    static bool perfAvailable();
+
+    /** @return true if a RAPL energy counter is readable. */
+    static bool raplAvailable();
+
+    /**
+     * Assemble @p asm_text (GNU as), link without libc, execute, and
+     * sample perf counters / RAPL around the execution when available.
+     * fatal() when the toolchain is missing or assembly fails — a
+     * failing individual is a configuration error in this framework's
+     * bundled libraries (the original tool treats compile failures the
+     * same way).
+     */
+    RunOutcome assembleAndRun(const std::string& asm_text);
+
+    /** The scratch directory in use. */
+    const std::string& scratchDir() const { return _dir; }
+
+  private:
+    std::string _dir;
+    bool _keep;
+    int _counter = 0;
+};
+
+} // namespace native
+} // namespace gest
+
+#endif // GEST_NATIVE_RUNNER_HH

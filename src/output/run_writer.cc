@@ -1,0 +1,81 @@
+#include "output/run_writer.hh"
+
+#include "core/individual.hh"
+#include "util/fileutil.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace output {
+
+RunWriter::RunWriter(std::string root, const isa::InstructionLibrary& lib,
+                     const isa::AsmTemplate* tmpl, RunWriterOptions options)
+    : _root(std::move(root)), _lib(lib), _template(tmpl),
+      _options(options)
+{
+    ensureDir(_root);
+}
+
+std::string
+RunWriter::individualFileName(int population,
+                              const core::Individual& ind) const
+{
+    // 1_10_1.30_1.33.txt for individual 10 of population 1 with
+    // measurements [1.30, 1.33] (§III.D).
+    std::string name =
+        std::to_string(population) + "_" + std::to_string(ind.id);
+    for (double v : ind.measurements)
+        name += "_" + formatFixed(v, _options.measurementPrecision);
+    return name + ".txt";
+}
+
+void
+RunWriter::writeIndividual(int population, const core::Individual& ind)
+{
+    const std::vector<std::string> lines = core::renderLines(_lib, ind);
+    std::string body;
+    if (_template) {
+        body = _template->render(lines);
+    } else {
+        for (const std::string& line : lines) {
+            body += line;
+            body += '\n';
+        }
+    }
+    writeFile(_root + "/" + individualFileName(population, ind), body);
+}
+
+void
+RunWriter::writePopulation(const core::Population& pop)
+{
+    if (_options.writeIndividuals) {
+        for (const core::Individual& ind : pop.individuals)
+            writeIndividual(pop.generation, ind);
+    }
+    if (_options.writePopulations) {
+        core::savePopulation(_lib, pop,
+                             _root + "/population_" +
+                                 std::to_string(pop.generation) + ".pop");
+    }
+}
+
+void
+RunWriter::writeRunMetadata(const std::string& config_text,
+                            const std::string& template_text)
+{
+    if (!config_text.empty())
+        writeFile(_root + "/run_configuration.xml", config_text);
+    if (!template_text.empty())
+        writeFile(_root + "/run_template.txt", template_text);
+}
+
+core::Engine::GenerationCallback
+RunWriter::callback()
+{
+    return [this](const core::Population& pop,
+                  const core::GenerationRecord&) {
+        writePopulation(pop);
+    };
+}
+
+} // namespace output
+} // namespace gest

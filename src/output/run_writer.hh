@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Run-directory output (§III.D).
+ *
+ * For every GA run the framework records, like the original tool:
+ *  - one source file per individual, named
+ *    `<population>_<id>_<m1>_<m2>....txt` so the fittest individual can
+ *    be retrieved with basic UNIX commands (the first measurement is the
+ *    fitness by default);
+ *  - one reloadable population file per generation (seed populations);
+ *  - the configuration and template used, for record keeping.
+ */
+
+#ifndef GEST_OUTPUT_RUN_WRITER_HH
+#define GEST_OUTPUT_RUN_WRITER_HH
+
+#include <string>
+
+#include "core/engine.hh"
+#include "core/population.hh"
+#include "isa/asm_template.hh"
+#include "isa/library.hh"
+
+namespace gest {
+namespace output {
+
+/** Options controlling what a RunWriter records. */
+struct RunWriterOptions
+{
+    /** Write per-individual source files. */
+    bool writeIndividuals = true;
+
+    /** Write per-generation population files. */
+    bool writePopulations = true;
+
+    /** Decimal places used for measurements embedded in file names. */
+    int measurementPrecision = 2;
+};
+
+/**
+ * Writes one GA run's artifacts under a root directory.
+ */
+class RunWriter
+{
+  public:
+    /**
+     * @param root output directory (created if absent)
+     * @param lib the library individuals reference
+     * @param tmpl template the individuals are printed into; when
+     *        nullptr, bare loop bodies are written
+     */
+    RunWriter(std::string root, const isa::InstructionLibrary& lib,
+              const isa::AsmTemplate* tmpl = nullptr,
+              RunWriterOptions options = {});
+
+    /** Record one evaluated individual of a given population. */
+    void writeIndividual(int population, const core::Individual& ind);
+
+    /** Record a whole evaluated population (individuals + checkpoint). */
+    void writePopulation(const core::Population& pop);
+
+    /** Copy configuration/template text into the run directory. */
+    void writeRunMetadata(const std::string& config_text,
+                          const std::string& template_text);
+
+    /**
+     * Convenience: an Engine generation callback that records every
+     * generation through this writer.
+     */
+    core::Engine::GenerationCallback callback();
+
+    /** The run directory. */
+    const std::string& root() const { return _root; }
+
+    /** File name an individual is stored under (naming convention). */
+    std::string individualFileName(int population,
+                                   const core::Individual& ind) const;
+
+  private:
+    std::string _root;
+    const isa::InstructionLibrary& _lib;
+    const isa::AsmTemplate* _template;
+    RunWriterOptions _options;
+};
+
+} // namespace output
+} // namespace gest
+
+#endif // GEST_OUTPUT_RUN_WRITER_HH

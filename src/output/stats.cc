@@ -1,0 +1,121 @@
+#include "output/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/individual.hh"
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace output {
+
+namespace {
+
+GenerationSummary
+summarizeOne(const isa::InstructionLibrary& lib,
+             const core::Population& pop)
+{
+    GenerationSummary summary;
+    summary.generation = pop.generation;
+    summary.averageFitness = pop.averageFitness();
+    summary.diversity = pop.genotypeDiversity();
+    const int best = pop.bestIndex();
+    if (best >= 0) {
+        const core::Individual& ind =
+            pop.individuals[static_cast<std::size_t>(best)];
+        summary.bestFitness = ind.fitness;
+        summary.bestId = ind.id;
+        summary.bestUniqueInstructions =
+            core::uniqueInstructionCount(ind);
+        summary.bestBreakdown = core::classBreakdown(lib, ind);
+    }
+    return summary;
+}
+
+std::vector<core::Population>
+loadRun(const isa::InstructionLibrary& lib, const std::string& run_dir)
+{
+    std::vector<core::Population> pops;
+    for (const std::string& file : listFiles(run_dir)) {
+        if (startsWith(file, "population_") && endsWith(file, ".pop"))
+            pops.push_back(
+                core::loadPopulation(lib, run_dir + "/" + file));
+    }
+    if (pops.empty())
+        fatal("no population files found in '", run_dir, "'");
+    std::sort(pops.begin(), pops.end(),
+              [](const core::Population& a, const core::Population& b) {
+                  return a.generation < b.generation;
+              });
+    return pops;
+}
+
+} // namespace
+
+std::vector<GenerationSummary>
+summarizeRun(const isa::InstructionLibrary& lib, const std::string& run_dir)
+{
+    return summarizePopulations(lib, loadRun(lib, run_dir));
+}
+
+std::vector<GenerationSummary>
+summarizePopulations(const isa::InstructionLibrary& lib,
+                     const std::vector<core::Population>& pops)
+{
+    std::vector<GenerationSummary> out;
+    out.reserve(pops.size());
+    for (const core::Population& pop : pops)
+        out.push_back(summarizeOne(lib, pop));
+    return out;
+}
+
+core::Individual
+fittestInRun(const isa::InstructionLibrary& lib, const std::string& run_dir,
+             int* generation_out)
+{
+    const std::vector<core::Population> pops = loadRun(lib, run_dir);
+    const core::Individual* best = nullptr;
+    int best_gen = 0;
+    for (const core::Population& pop : pops) {
+        const int index = pop.bestIndex();
+        if (index < 0)
+            continue;
+        const core::Individual& ind =
+            pop.individuals[static_cast<std::size_t>(index)];
+        if (!best || ind.fitness > best->fitness) {
+            best = &ind;
+            best_gen = pop.generation;
+        }
+    }
+    if (!best)
+        fatal("run '", run_dir, "' has no evaluated individuals");
+    if (generation_out)
+        *generation_out = best_gen;
+    return *best;
+}
+
+std::string
+formatSummaryTable(const std::vector<GenerationSummary>& summaries)
+{
+    std::ostringstream os;
+    os << "gen    best_fitness    avg_fitness  diversity  uniq  "
+          "ShortInt LongInt Float/SIMD Mem Branch Nop\n";
+    for (const GenerationSummary& s : summaries) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%3d  %14.4f %14.4f  %9.3f  %4zu  %8d %7d %10d "
+                      "%3d %6d %3d",
+                      s.generation, s.bestFitness, s.averageFitness,
+                      s.diversity, s.bestUniqueInstructions,
+                      s.bestBreakdown[0], s.bestBreakdown[1],
+                      s.bestBreakdown[2], s.bestBreakdown[3],
+                      s.bestBreakdown[4], s.bestBreakdown[5]);
+        os << line << "\n";
+    }
+    return os.str();
+}
+
+} // namespace output
+} // namespace gest

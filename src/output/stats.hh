@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Post-processing of saved GA runs (§III.D).
+ *
+ * The original release ships a Python script that reads the binary
+ * population files and extracts per-generation statistics — the fitness
+ * of the fittest individual and its instruction-mix breakdown. This is
+ * that tool as a library.
+ */
+
+#ifndef GEST_OUTPUT_STATS_HH
+#define GEST_OUTPUT_STATS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/population.hh"
+
+namespace gest {
+namespace output {
+
+/** One generation's extracted statistics. */
+struct GenerationSummary
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    double averageFitness = 0.0;
+    std::uint64_t bestId = 0;
+    std::size_t bestUniqueInstructions = 0;
+    std::array<int, isa::numInstrClasses> bestBreakdown{};
+    double diversity = 0.0;
+};
+
+/**
+ * Load every `population_<n>.pop` file in @p run_dir and summarize it,
+ * ordered by generation. fatal() if the directory holds none.
+ */
+std::vector<GenerationSummary> summarizeRun(
+    const isa::InstructionLibrary& lib, const std::string& run_dir);
+
+/** Summarize populations already in memory. */
+std::vector<GenerationSummary> summarizePopulations(
+    const isa::InstructionLibrary& lib,
+    const std::vector<core::Population>& pops);
+
+/**
+ * The fittest individual across all generations of a saved run.
+ * @param generation_out when non-null, receives its generation.
+ */
+core::Individual fittestInRun(const isa::InstructionLibrary& lib,
+                              const std::string& run_dir,
+                              int* generation_out = nullptr);
+
+/** Render summaries as an aligned text table. */
+std::string formatSummaryTable(
+    const std::vector<GenerationSummary>& summaries);
+
+} // namespace output
+} // namespace gest
+
+#endif // GEST_OUTPUT_STATS_HH

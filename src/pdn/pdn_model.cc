@@ -1,0 +1,178 @@
+#include "pdn/pdn_model.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace pdn {
+
+namespace {
+constexpr double pi = 3.14159265358979323846;
+} // namespace
+
+double
+PdnConfig::resonanceHz() const
+{
+    return 1.0 / (2.0 * pi * std::sqrt(inductanceH * capacitanceF));
+}
+
+double
+PdnConfig::qFactor() const
+{
+    return std::sqrt(inductanceH / capacitanceF) / resistanceOhm;
+}
+
+double
+PdnConfig::peakImpedanceOhm() const
+{
+    // Series RLC seen from the load: |Z| at resonance is L / (R * C).
+    return inductanceH / (resistanceOhm * capacitanceF);
+}
+
+PdnConfig
+PdnConfig::forResonance(std::string name, double vdd, double resonance_hz,
+                        double q, double resistance_ohm)
+{
+    // Q = sqrt(L/C)/R and w0 = 1/sqrt(LC) give
+    //   L = Q * R / w0   and   C = 1 / (Q * R * w0).
+    PdnConfig cfg;
+    cfg.name = std::move(name);
+    cfg.vdd = vdd;
+    cfg.resistanceOhm = resistance_ohm;
+    const double w0 = 2.0 * pi * resonance_hz;
+    cfg.inductanceH = q * resistance_ohm / w0;
+    cfg.capacitanceF = 1.0 / (q * resistance_ohm * w0);
+    cfg.validate();
+    return cfg;
+}
+
+void
+PdnConfig::validate() const
+{
+    if (vdd <= 0.0 || resistanceOhm <= 0.0 || inductanceH <= 0.0 ||
+        capacitanceF <= 0.0)
+        fatal("PDN '", name, "': non-physical electrical parameters");
+    if (substepsPerCycle < 1)
+        fatal("PDN '", name, "': need at least one integration substep");
+}
+
+PdnModel::PdnModel(PdnConfig cfg) : _cfg(std::move(cfg))
+{
+    _cfg.validate();
+}
+
+VoltageTrace
+PdnModel::simulate(const std::vector<double>& current_amps,
+                   double freq_ghz, std::size_t warmup_cycles) const
+{
+    return simulateAt(current_amps, freq_ghz, _cfg.vdd, warmup_cycles);
+}
+
+VoltageTrace
+PdnModel::simulateAt(const std::vector<double>& current_amps,
+                     double freq_ghz, double vs,
+                     std::size_t warmup_cycles) const
+{
+    if (freq_ghz <= 0.0)
+        fatal("PDN simulation needs a positive clock frequency");
+
+    VoltageTrace out;
+    out.volts.reserve(current_amps.size());
+    if (current_amps.empty()) {
+        out.vMin = out.vMax = out.vAvg = vs;
+        return out;
+    }
+    if (warmup_cycles >= current_amps.size())
+        warmup_cycles = current_amps.size() / 2;
+
+    const double dt =
+        1e-9 / freq_ghz / static_cast<double>(_cfg.substepsPerCycle);
+    const double r = _cfg.resistanceOhm;
+    const double l = _cfg.inductanceH;
+    const double c = _cfg.capacitanceF;
+
+    // Start at the DC operating point for the first sample's current so
+    // the transient begins settled.
+    double i_l = current_amps.front();
+    double v_c = vs - r * i_l;
+
+    double v_min = std::numeric_limits<double>::max();
+    double v_max = -std::numeric_limits<double>::max();
+    double v_sum = 0.0;
+    std::size_t measured = 0;
+
+    for (std::size_t cycle = 0; cycle < current_amps.size(); ++cycle) {
+        const double i_load = current_amps[cycle];
+        // Semi-implicit (symplectic) Euler keeps the oscillator stable
+        // at the modest substep counts we use.
+        for (int s = 0; s < _cfg.substepsPerCycle; ++s) {
+            i_l += dt * (vs - v_c - r * i_l) / l;
+            v_c += dt * (i_l - i_load) / c;
+        }
+        out.volts.push_back(v_c);
+        if (cycle >= warmup_cycles) {
+            v_min = std::min(v_min, v_c);
+            v_max = std::max(v_max, v_c);
+            v_sum += v_c;
+            ++measured;
+        }
+    }
+
+    if (measured == 0) {
+        out.vMin = out.vMax = out.vAvg = out.volts.back();
+    } else {
+        out.vMin = v_min;
+        out.vMax = v_max;
+        out.vAvg = v_sum / static_cast<double>(measured);
+    }
+    return out;
+}
+
+VminModel::VminModel(const PdnModel& pdn, VminConfig cfg)
+    : _pdn(pdn), _cfg(cfg)
+{
+    if (_cfg.stepVolts <= 0.0)
+        fatal("Vmin sweep step must be positive");
+    if (_cfg.vCritical >= _cfg.vNominal)
+        fatal("Vmin sweep: critical voltage ", _cfg.vCritical,
+              " is not below nominal ", _cfg.vNominal);
+}
+
+double
+VminModel::characterize(const std::vector<double>& current_amps,
+                        double freq_ghz) const
+{
+    // Lower the supply in fixed steps, exactly like the paper's
+    // procedure, and report the lowest passing voltage.
+    double last_pass = _cfg.vNominal;
+    bool any_pass = false;
+    for (double vs = _cfg.vNominal; vs > _cfg.vCritical - 1e-12;
+         vs -= _cfg.stepVolts) {
+        const VoltageTrace trace =
+            _pdn.simulateAt(current_amps, freq_ghz, vs);
+        if (trace.vMin < _cfg.vCritical)
+            break;
+        last_pass = vs;
+        any_pass = true;
+    }
+    if (!any_pass)
+        warn("workload fails even at nominal supply ", _cfg.vNominal,
+             " V; reporting nominal as Vmin");
+    return last_pass;
+}
+
+PdnConfig
+athlonPdn()
+{
+    // ~100 MHz first-order resonance with Q ~ 2.2 and 1 mOhm of loop
+    // resistance: a typical desktop package/board combination and close
+    // to the band AUDIT reports for AMD parts.
+    PdnConfig cfg = PdnConfig::forResonance("athlon-asus-m5a78l", 1.35,
+                                            100e6, 2.2, 1.0e-3);
+    return cfg;
+}
+
+} // namespace pdn
+} // namespace gest

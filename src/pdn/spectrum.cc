@@ -1,0 +1,83 @@
+#include "pdn/spectrum.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace pdn {
+
+namespace {
+constexpr double pi = 3.14159265358979323846;
+} // namespace
+
+double
+toneAmplitude(const std::vector<double>& samples, double sample_rate_hz,
+              double tone_hz)
+{
+    if (samples.empty())
+        return 0.0;
+    if (sample_rate_hz <= 0.0 || tone_hz < 0.0)
+        fatal("toneAmplitude needs a positive sample rate and a "
+              "non-negative tone frequency");
+    if (tone_hz * 2.0 > sample_rate_hz)
+        fatal("tone ", tone_hz, " Hz is above Nyquist for sample rate ",
+              sample_rate_hz, " Hz");
+
+    const std::size_t n = samples.size();
+    double mean = 0.0;
+    for (double s : samples)
+        mean += s;
+    mean /= static_cast<double>(n);
+
+    // Goertzel recurrence on the mean-removed signal.
+    const double omega = 2.0 * pi * tone_hz / sample_rate_hz;
+    const double coeff = 2.0 * std::cos(omega);
+    double s_prev = 0.0;
+    double s_prev2 = 0.0;
+    for (double sample : samples) {
+        const double s = (sample - mean) + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    const double power = s_prev * s_prev + s_prev2 * s_prev2 -
+                         coeff * s_prev * s_prev2;
+    // Scale to the sinusoid amplitude: |X(k)| * 2 / N.
+    return 2.0 * std::sqrt(power < 0.0 ? 0.0 : power) /
+           static_cast<double>(n);
+}
+
+std::vector<double>
+amplitudeSpectrum(const std::vector<double>& samples,
+                  double sample_rate_hz,
+                  const std::vector<double>& tones_hz)
+{
+    std::vector<double> out;
+    out.reserve(tones_hz.size());
+    for (double tone : tones_hz)
+        out.push_back(toneAmplitude(samples, sample_rate_hz, tone));
+    return out;
+}
+
+double
+dominantTone(const std::vector<double>& samples, double sample_rate_hz,
+             double lo_hz, double hi_hz, int steps)
+{
+    if (steps < 2 || hi_hz <= lo_hz)
+        fatal("dominantTone needs steps >= 2 and hi > lo");
+    double best_tone = lo_hz;
+    double best_amp = -1.0;
+    for (int i = 0; i < steps; ++i) {
+        const double tone =
+            lo_hz + (hi_hz - lo_hz) * i / (steps - 1);
+        const double amp = toneAmplitude(samples, sample_rate_hz, tone);
+        if (amp > best_amp) {
+            best_amp = amp;
+            best_tone = tone;
+        }
+    }
+    return best_tone;
+}
+
+} // namespace pdn
+} // namespace gest

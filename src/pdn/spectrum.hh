@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Spectral analysis of load-current traces.
+ *
+ * A dI/dt virus works by concentrating current energy at the PDN's
+ * resonance frequency (§II). The Goertzel algorithm extracts the
+ * amplitude of a single tone from a per-cycle current trace, which lets
+ * benches and tests verify the mechanism directly: the GA virus shows a
+ * spectral peak at f_res that sustained power viruses lack.
+ */
+
+#ifndef GEST_PDN_SPECTRUM_HH
+#define GEST_PDN_SPECTRUM_HH
+
+#include <vector>
+
+namespace gest {
+namespace pdn {
+
+/**
+ * Amplitude of the @p tone_hz component of @p samples taken at
+ * @p sample_rate_hz (Goertzel). The DC component is removed first so a
+ * large sustained current does not leak into the bin. @return the
+ * amplitude in the samples' unit (A for current traces).
+ */
+double toneAmplitude(const std::vector<double>& samples,
+                     double sample_rate_hz, double tone_hz);
+
+/** Tone amplitudes for a list of frequencies. */
+std::vector<double> amplitudeSpectrum(
+    const std::vector<double>& samples, double sample_rate_hz,
+    const std::vector<double>& tones_hz);
+
+/**
+ * Frequency (Hz) of the strongest component found by scanning
+ * [lo_hz, hi_hz] in @p steps steps.
+ */
+double dominantTone(const std::vector<double>& samples,
+                    double sample_rate_hz, double lo_hz, double hi_hz,
+                    int steps = 64);
+
+} // namespace pdn
+} // namespace gest
+
+#endif // GEST_PDN_SPECTRUM_HH

@@ -1,0 +1,127 @@
+#include "power/energy_model.hh"
+
+namespace gest {
+namespace power {
+
+using isa::InstrClass;
+
+double
+EnergyModel::leakageWatts(double temp_c, double vdd) const
+{
+    const double temp_factor =
+        1.0 + leakageTempCoeff * (temp_c - leakageRefTempC);
+    const double v_factor = (vdd / vddNominal) * (vdd / vddNominal);
+    return leakageRefWatts * (temp_factor < 0.1 ? 0.1 : temp_factor) *
+           v_factor;
+}
+
+double
+EnergyModel::dynamicScale(double vdd) const
+{
+    const double ratio = vdd / vddNominal;
+    return ratio * ratio;
+}
+
+EnergyModel
+cortexA15Energy()
+{
+    EnergyModel em;
+    em.name = "cortex-a15";
+    // Big out-of-order core: wide NEON datapath dominates; integer ops
+    // are comparatively cheap; the branch unit is a small slice.
+    em.setEpi(InstrClass::ShortInt, 0.15);
+    em.setEpi(InstrClass::LongInt, 0.34);
+    em.setEpi(InstrClass::FloatSimd, 0.58);
+    em.setEpi(InstrClass::Mem, 0.42);
+    em.setEpi(InstrClass::Branch, 0.12);
+    em.setEpi(InstrClass::Nop, 0.02);
+    em.togglePerBitNj = 0.0022;
+    em.fetchPerInstrNj = 0.08;
+    em.windowPerEntryCycleNj = 0.004;
+    em.cacheMissNj = 2.0;
+    em.mispredictNj = 1.6;
+    em.clockPerCycleNj = 0.26;
+    em.vddNominal = 1.05;
+    em.leakageRefWatts = 0.16;
+    return em;
+}
+
+EnergyModel
+cortexA7Energy()
+{
+    EnergyModel em;
+    em.name = "cortex-a7";
+    // LITTLE in-order core: fetch/predict is a large share of total
+    // power, so taken branches are comparatively expensive events, while
+    // the narrow 64-bit NEON path caps FP energy throughput.
+    em.setEpi(InstrClass::ShortInt, 0.055);
+    em.setEpi(InstrClass::LongInt, 0.115);
+    em.setEpi(InstrClass::FloatSimd, 0.135);
+    em.setEpi(InstrClass::Mem, 0.105);
+    em.setEpi(InstrClass::Branch, 0.155);
+    em.setEpi(InstrClass::Nop, 0.008);
+    em.togglePerBitNj = 0.0008;
+    em.fetchPerInstrNj = 0.035;
+    em.windowPerEntryCycleNj = 0.0008;
+    em.cacheMissNj = 1.2;
+    em.mispredictNj = 0.5;
+    em.clockPerCycleNj = 0.055;
+    em.vddNominal = 1.0;
+    em.leakageRefWatts = 0.035;
+    return em;
+}
+
+EnergyModel
+xgene2Energy()
+{
+    EnergyModel em;
+    em.name = "xgene2";
+    // Server-class core: the load/store path (big L1, DTLB, store
+    // buffers) is expensive, and the issue queue / dependency tracking
+    // contributes a visible per-entry-per-cycle cost.
+    em.setEpi(InstrClass::ShortInt, 0.14);
+    em.setEpi(InstrClass::LongInt, 0.23);
+    em.setEpi(InstrClass::FloatSimd, 0.28);
+    em.setEpi(InstrClass::Mem, 0.37);
+    em.setEpi(InstrClass::Branch, 0.075);
+    em.setEpi(InstrClass::Nop, 0.015);
+    em.togglePerBitNj = 0.0010;
+    em.fetchPerInstrNj = 0.05;
+    em.windowPerEntryCycleNj = 0.0065;
+    em.cacheMissNj = 1.5;
+    em.l2MissNj = 6.0;
+    em.mispredictNj = 1.0;
+    em.clockPerCycleNj = 0.21;
+    em.vddNominal = 0.98;
+    em.leakageRefWatts = 0.85;
+    return em;
+}
+
+EnergyModel
+athlonX4Energy()
+{
+    EnergyModel em;
+    em.name = "athlon-x4-645";
+    // 45 nm desktop core at 3.1 GHz: big absolute energies, wide K10
+    // FPU; current swings between FP bursts and NOPs are what the dI/dt
+    // search exploits.
+    em.setEpi(InstrClass::ShortInt, 0.28);
+    em.setEpi(InstrClass::LongInt, 0.55);
+    em.setEpi(InstrClass::FloatSimd, 0.95);
+    em.setEpi(InstrClass::Mem, 0.60);
+    em.setEpi(InstrClass::Branch, 0.22);
+    em.setEpi(InstrClass::Nop, 0.05);
+    em.togglePerBitNj = 0.0030;
+    em.fetchPerInstrNj = 0.12;
+    em.windowPerEntryCycleNj = 0.005;
+    em.cacheMissNj = 3.5;
+    em.mispredictNj = 2.5;
+    em.clockPerCycleNj = 0.9;
+    em.vddNominal = 1.35;
+    em.leakageRefWatts = 4.0;
+    em.leakageRefTempC = 60.0;
+    return em;
+}
+
+} // namespace power
+} // namespace gest

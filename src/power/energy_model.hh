@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Activity-based core energy model.
+ *
+ * This is the substitute for the paper's external power instruments (ARM
+ * energy probe, wall-plug meter). Dynamic energy is charged per
+ * micro-architectural event — issued micro-ops by class, fetched
+ * instructions, scheduler-window occupancy (the issue-queue/dependency-
+ * tracking power the paper uses to explain why the X-Gene2 power virus
+ * keeps a few long-latency instructions in flight), result-bit toggles
+ * (why checkerboard register initialization matters), cache misses and
+ * branch mispredictions — plus a per-cycle clock-tree component. Leakage
+ * is a function of temperature and supply voltage.
+ */
+
+#ifndef GEST_POWER_ENERGY_MODEL_HH
+#define GEST_POWER_ENERGY_MODEL_HH
+
+#include <array>
+#include <string>
+
+#include "isa/instr_class.hh"
+
+namespace gest {
+namespace power {
+
+/** Per-event energies in nanojoules plus a leakage characterization. */
+struct EnergyModel
+{
+    std::string name;
+
+    /** Energy per issued micro-op, by instruction class (nJ). */
+    std::array<double, isa::numInstrClasses> epiClassNj{};
+
+    /** Energy per toggled result bit (nJ). */
+    double togglePerBitNj = 0.0;
+
+    /** Energy per fetched/decoded instruction (nJ). */
+    double fetchPerInstrNj = 0.0;
+
+    /** Energy per scheduler-window entry per cycle (nJ). */
+    double windowPerEntryCycleNj = 0.0;
+
+    /** Energy per L1 miss (L2 access + fill) (nJ). */
+    double cacheMissNj = 0.0;
+
+    /** Energy per L2 miss (DRAM access) (nJ). */
+    double l2MissNj = 0.0;
+
+    /** Energy per branch misprediction (squash + refetch) (nJ). */
+    double mispredictNj = 0.0;
+
+    /** Clock tree + always-on dynamic energy per cycle (nJ). */
+    double clockPerCycleNj = 0.0;
+
+    /** Nominal supply voltage the EPI values were characterized at. */
+    double vddNominal = 1.0;
+
+    /** Leakage power at the reference temperature and voltage (W). */
+    double leakageRefWatts = 0.0;
+
+    /** Reference temperature for leakage (degrees C). */
+    double leakageRefTempC = 55.0;
+
+    /** Fractional leakage increase per degree C above reference. */
+    double leakageTempCoeff = 0.012;
+
+    /** EPI value for one class. */
+    double
+    epi(isa::InstrClass cls) const
+    {
+        return epiClassNj[static_cast<std::size_t>(cls)];
+    }
+
+    /** Set the EPI value for one class. */
+    void
+    setEpi(isa::InstrClass cls, double nj)
+    {
+        epiClassNj[static_cast<std::size_t>(cls)] = nj;
+    }
+
+    /**
+     * Leakage power at a given die temperature and supply.
+     * Linearized exponential in T; quadratic in V.
+     */
+    double leakageWatts(double temp_c, double vdd) const;
+
+    /** Dynamic-energy voltage scaling factor (V/Vnom)^2. */
+    double dynamicScale(double vdd) const;
+};
+
+/** Energy model matching the Cortex-A15-like core. */
+EnergyModel cortexA15Energy();
+
+/** Energy model matching the Cortex-A7-like core. */
+EnergyModel cortexA7Energy();
+
+/** Energy model matching the X-Gene2-like core. */
+EnergyModel xgene2Energy();
+
+/** Energy model matching the Athlon-II-like core. */
+EnergyModel athlonX4Energy();
+
+} // namespace power
+} // namespace gest
+
+#endif // GEST_POWER_ENERGY_MODEL_HH

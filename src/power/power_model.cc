@@ -1,0 +1,109 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace power {
+
+std::vector<double>
+PowerTrace::currentAmps() const
+{
+    std::vector<double> amps;
+    amps.reserve(watts.size());
+    for (double w : watts)
+        amps.push_back(w / vdd);
+    return amps;
+}
+
+PowerModel::PowerModel(EnergyModel em, double freq_ghz)
+    : _em(std::move(em)), _freqGHz(freq_ghz)
+{
+    if (freq_ghz <= 0.0)
+        fatal("power model needs a positive frequency, got ", freq_ghz);
+}
+
+double
+PowerModel::cycleEnergyNj(const arch::CycleStats& stats) const
+{
+    double nj = _em.clockPerCycleNj;
+    for (int cls = 0; cls < isa::numInstrClasses; ++cls)
+        nj += _em.epiClassNj[static_cast<std::size_t>(cls)] *
+              stats.issued[static_cast<std::size_t>(cls)];
+    nj += _em.togglePerBitNj * stats.toggleBits;
+    nj += _em.fetchPerInstrNj * stats.fetched;
+    nj += _em.windowPerEntryCycleNj * stats.windowOccupancy;
+    nj += _em.cacheMissNj * stats.cacheMisses;
+    nj += _em.l2MissNj * stats.l2Misses;
+    nj += _em.mispredictNj * stats.mispredicts;
+    return nj;
+}
+
+PowerTrace
+PowerModel::trace(const arch::SimResult& sim, double vdd,
+                  double temp_c) const
+{
+    PowerTrace out;
+    out.freqGHz = _freqGHz;
+    out.vdd = vdd;
+    out.watts.reserve(sim.trace.size());
+
+    const double dyn_scale = _em.dynamicScale(vdd);
+    const double leak = _em.leakageWatts(temp_c, vdd);
+
+    double sum = 0.0;
+    double peak = 0.0;
+    double low = std::numeric_limits<double>::max();
+    for (const arch::CycleStats& stats : sim.trace) {
+        // nJ per cycle * cycles per ns (GHz) = W.
+        const double w =
+            cycleEnergyNj(stats) * dyn_scale * _freqGHz + leak;
+        out.watts.push_back(w);
+        sum += w;
+        peak = std::max(peak, w);
+        low = std::min(low, w);
+    }
+    if (out.watts.empty()) {
+        out.avgWatts = leak;
+        out.peakWatts = leak;
+        out.minWatts = leak;
+    } else {
+        out.avgWatts = sum / static_cast<double>(out.watts.size());
+        out.peakWatts = peak;
+        out.minWatts = low;
+    }
+    return out;
+}
+
+double
+PowerModel::averageWatts(const arch::SimResult& sim, double vdd,
+                         double temp_c) const
+{
+    const double dyn_scale = _em.dynamicScale(vdd);
+    const double leak = _em.leakageWatts(temp_c, vdd);
+    if (sim.cycles == 0)
+        return leak;
+
+    // Aggregate counters avoid touching the per-cycle trace.
+    double nj = _em.clockPerCycleNj * static_cast<double>(sim.cycles);
+    for (int cls = 0; cls < isa::numInstrClasses; ++cls)
+        nj += _em.epiClassNj[static_cast<std::size_t>(cls)] *
+              static_cast<double>(
+                  sim.classCounts[static_cast<std::size_t>(cls)]);
+    nj += _em.togglePerBitNj * static_cast<double>(sim.totalToggleBits);
+    nj += _em.fetchPerInstrNj * static_cast<double>(sim.instructions);
+    nj += _em.windowPerEntryCycleNj * sim.avgWindowOccupancy *
+          static_cast<double>(sim.cycles);
+    nj += _em.cacheMissNj * static_cast<double>(sim.cacheMisses);
+    nj += _em.l2MissNj * static_cast<double>(sim.l2Misses);
+    nj += _em.mispredictNj * static_cast<double>(sim.mispredicts);
+
+    const double avg_nj_per_cycle =
+        nj / static_cast<double>(sim.cycles);
+    return avg_nj_per_cycle * dyn_scale * _freqGHz + leak;
+}
+
+} // namespace power
+} // namespace gest

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Converts a simulator activity trace into power and current traces.
+ */
+
+#ifndef GEST_POWER_POWER_MODEL_HH
+#define GEST_POWER_POWER_MODEL_HH
+
+#include <vector>
+
+#include "arch/trace.hh"
+#include "power/energy_model.hh"
+
+namespace gest {
+namespace power {
+
+/** Per-cycle power trace plus summary statistics. */
+struct PowerTrace
+{
+    /** Total power per cycle (W), dynamic plus leakage. */
+    std::vector<double> watts;
+
+    double avgWatts = 0.0;
+    double peakWatts = 0.0;
+    double minWatts = 0.0;
+
+    /** Core clock frequency the trace was produced at (GHz). */
+    double freqGHz = 1.0;
+
+    /** Supply voltage used (V). */
+    double vdd = 1.0;
+
+    /** Per-cycle load current trace (A): watts / vdd. */
+    std::vector<double> currentAmps() const;
+};
+
+/**
+ * Stateless evaluator binding an EnergyModel to a clock frequency.
+ */
+class PowerModel
+{
+  public:
+    PowerModel(EnergyModel em, double freq_ghz);
+
+    /**
+     * Compute the full per-cycle power trace for a simulation result.
+     *
+     * @param sim simulator output
+     * @param vdd supply voltage (V)
+     * @param temp_c die temperature for the leakage term (degrees C)
+     */
+    PowerTrace trace(const arch::SimResult& sim, double vdd,
+                     double temp_c) const;
+
+    /** Average power without materializing the trace (fast path). */
+    double averageWatts(const arch::SimResult& sim, double vdd,
+                        double temp_c) const;
+
+    /** The energy model in use. */
+    const EnergyModel& energyModel() const { return _em; }
+
+    /** The clock frequency in GHz. */
+    double freqGHz() const { return _freqGHz; }
+
+  private:
+    /** Dynamic energy of one cycle record in nJ, at nominal voltage. */
+    double cycleEnergyNj(const arch::CycleStats& stats) const;
+
+    EnergyModel _em;
+    double _freqGHz;
+};
+
+} // namespace power
+} // namespace gest
+
+#endif // GEST_POWER_POWER_MODEL_HH

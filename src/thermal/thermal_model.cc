@@ -1,0 +1,160 @@
+#include "thermal/thermal_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace thermal {
+
+double
+ThermalConfig::totalResistance() const
+{
+    double r = 0.0;
+    for (double g : conductance)
+        r += 1.0 / g;
+    return r;
+}
+
+ThermalModel::ThermalModel(ThermalConfig cfg) : _cfg(std::move(cfg))
+{
+    if (_cfg.capacitance.size() != _cfg.conductance.size())
+        fatal("thermal ladder '", _cfg.name, "': ",
+              _cfg.capacitance.size(), " capacitances but ",
+              _cfg.conductance.size(), " conductances");
+    if (_cfg.capacitance.empty())
+        fatal("thermal ladder '", _cfg.name, "' has no nodes");
+    for (std::size_t i = 0; i < _cfg.capacitance.size(); ++i) {
+        if (_cfg.capacitance[i] <= 0.0 || _cfg.conductance[i] <= 0.0)
+            fatal("thermal ladder '", _cfg.name,
+                  "': non-positive RC element at node ", i);
+    }
+    reset();
+}
+
+double
+ThermalModel::steadyStateDieTemp(double watts) const
+{
+    return _cfg.ambientC + watts * _cfg.totalResistance();
+}
+
+std::vector<double>
+ThermalModel::steadyStateTemps(double watts) const
+{
+    // In equilibrium all die power flows through every ladder stage:
+    // T_i = T_{i+1} + P / G_i, with T_N = ambient.
+    const std::size_t n = _cfg.conductance.size();
+    std::vector<double> temps(n);
+    double t = _cfg.ambientC;
+    for (std::size_t i = n; i-- > 0;) {
+        t += watts / _cfg.conductance[i];
+        temps[i] = t;
+    }
+    return temps;
+}
+
+double
+ThermalModel::solveWithLeakage(double dynamic_watts,
+                               const power::EnergyModel& em, double vdd,
+                               double* total_watts_out) const
+{
+    // Fixed-point iteration; the map T -> steady(P_dyn + leak(T)) is a
+    // contraction for any physically sensible temperature coefficient.
+    double temp = steadyStateDieTemp(dynamic_watts);
+    double total = dynamic_watts;
+    for (int iter = 0; iter < 64; ++iter) {
+        total = dynamic_watts + em.leakageWatts(temp, vdd);
+        const double next = steadyStateDieTemp(total);
+        if (std::fabs(next - temp) < 1e-9) {
+            temp = next;
+            break;
+        }
+        temp = next;
+    }
+    if (total_watts_out)
+        *total_watts_out = total;
+    return temp;
+}
+
+void
+ThermalModel::step(double watts, double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    // Explicit Euler with internal sub-stepping bounded by the fastest
+    // node time constant for stability.
+    double min_tau = 1e30;
+    for (std::size_t i = 0; i < _cfg.capacitance.size(); ++i) {
+        const double g_total =
+            _cfg.conductance[i] + (i > 0 ? _cfg.conductance[i - 1] : 0.0);
+        min_tau = std::min(min_tau, _cfg.capacitance[i] / g_total);
+    }
+    const double max_dt = min_tau / 4.0;
+    int steps = static_cast<int>(std::ceil(seconds / max_dt));
+    if (steps < 1)
+        steps = 1;
+    const double dt = seconds / steps;
+
+    const std::size_t n = _temps.size();
+    std::vector<double> next(n);
+    for (int s = 0; s < steps; ++s) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double flow = i == 0 ? watts : 0.0;
+            if (i > 0)
+                flow += _cfg.conductance[i - 1] *
+                        (_temps[i - 1] - _temps[i]);
+            const double downstream =
+                i + 1 < n ? _temps[i + 1] : _cfg.ambientC;
+            flow -= _cfg.conductance[i] * (_temps[i] - downstream);
+            next[i] = _temps[i] + dt * flow / _cfg.capacitance[i];
+        }
+        _temps = next;
+    }
+}
+
+void
+ThermalModel::reset()
+{
+    _temps.assign(_cfg.capacitance.size(), _cfg.ambientC);
+}
+
+ThermalConfig
+xgene2Thermal()
+{
+    ThermalConfig cfg;
+    cfg.name = "xgene2-package";
+    // Server package with a passive sink in a ducted chassis. The total
+    // resistance puts an idle chip around 42 C and a stressed chip in
+    // the 70-85 C band, mirroring the relative temperatures of Figure 7.
+    cfg.capacitance = {25.0, 200.0, 900.0};
+    cfg.conductance = {12.0, 8.0, 5.0};
+    cfg.ambientC = 28.0;
+    return cfg;
+}
+
+ThermalConfig
+versatileExpressThermal()
+{
+    ThermalConfig cfg;
+    cfg.name = "versatile-express";
+    // Bare test chip without a heatsink: high resistance, low mass.
+    cfg.capacitance = {4.0, 40.0};
+    cfg.conductance = {1.2, 0.35};
+    cfg.ambientC = 25.0;
+    return cfg;
+}
+
+ThermalConfig
+athlonX4Thermal()
+{
+    ThermalConfig cfg;
+    cfg.name = "athlon-x4";
+    // Desktop package with a tower cooler.
+    cfg.capacitance = {30.0, 350.0, 1500.0};
+    cfg.conductance = {18.0, 9.0, 6.0};
+    cfg.ambientC = 26.0;
+    return cfg;
+}
+
+} // namespace thermal
+} // namespace gest

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lumped RC thermal network.
+ *
+ * Substitute for the X-Gene2 i2c temperature sensor (§IV): a thermal
+ * ladder die → heat spreader → heatsink → ambient. The GA's temperature
+ * fitness reads the die node. Both a steady-state solve (what a sensor
+ * reports after a few seconds of sustained execution) and an explicit
+ * transient integrator are provided, plus the leakage-temperature
+ * fixed-point solve (hotter silicon leaks more, which burns more power,
+ * which heats the silicon).
+ */
+
+#ifndef GEST_THERMAL_THERMAL_MODEL_HH
+#define GEST_THERMAL_THERMAL_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "power/energy_model.hh"
+
+namespace gest {
+namespace thermal {
+
+/**
+ * Ladder parameters. Node 0 is the die; conductance[i] couples node i to
+ * node i+1, and the last conductance couples the last node to ambient.
+ */
+struct ThermalConfig
+{
+    std::string name;
+
+    /** Heat capacity per node (J/K). */
+    std::vector<double> capacitance{20.0, 150.0, 600.0};
+
+    /** Thermal conductances along the ladder, ending at ambient (W/K). */
+    std::vector<double> conductance{2.0, 1.2, 0.8};
+
+    /** Ambient temperature (degrees C). */
+    double ambientC = 25.0;
+
+    /** Total die-to-ambient resistance (K/W). */
+    double totalResistance() const;
+};
+
+/** RC ladder with steady-state and transient solutions. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(ThermalConfig cfg);
+
+    /** Die temperature once @p watts of die power reaches equilibrium. */
+    double steadyStateDieTemp(double watts) const;
+
+    /** Equilibrium temperature of every node for @p watts die power. */
+    std::vector<double> steadyStateTemps(double watts) const;
+
+    /**
+     * Solve die temperature including leakage feedback: total power is
+     * @p dynamic_watts plus em.leakageWatts(T_die, vdd), and T_die is
+     * the equilibrium for that total. Returns the fixed point.
+     */
+    double solveWithLeakage(double dynamic_watts,
+                            const power::EnergyModel& em,
+                            double vdd,
+                            double* total_watts_out = nullptr) const;
+
+    /** Advance the transient state by @p seconds under @p watts. */
+    void step(double watts, double seconds);
+
+    /** Reset transient state to ambient everywhere. */
+    void reset();
+
+    /** Current transient die temperature. */
+    double dieTemp() const { return _temps.front(); }
+
+    /** Current transient node temperatures. */
+    const std::vector<double>& temps() const { return _temps; }
+
+    /** The configuration in use. */
+    const ThermalConfig& config() const { return _cfg; }
+
+  private:
+    ThermalConfig _cfg;
+    std::vector<double> _temps;
+};
+
+/** Thermal ladder for the X-Gene2-like 8-core package. */
+ThermalConfig xgene2Thermal();
+
+/** Thermal ladder for the Versatile Express test chip (A15/A7). */
+ThermalConfig versatileExpressThermal();
+
+/** Thermal ladder for the Athlon II desktop package with cooler. */
+ThermalConfig athlonX4Thermal();
+
+} // namespace thermal
+} // namespace gest
+
+#endif // GEST_THERMAL_THERMAL_MODEL_HH

@@ -1,0 +1,56 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gest {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    if (file && file[0] != '\0')
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    else
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (!quietFlag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace gest

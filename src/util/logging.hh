@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal framework bug; never the user's fault. Aborts.
+ * fatal()  — the user supplied a bad configuration or environment and the
+ *            run cannot continue. Exits with status 1 (throws
+ *            FatalError first so library embedders and tests can catch it).
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef GEST_UTIL_LOGGING_HH
+#define GEST_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gest {
+
+/**
+ * Exception carrying a fatal, user-caused error. Thrown by fatal() so the
+ * condition is testable and embedders can recover; the CLI entry points
+ * catch it, print the message and exit(1).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(const Args&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+[[noreturn]] void fatalImpl(const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+} // namespace detail
+
+/** Abort with a message: an internal invariant was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    detail::panicImpl("", 0, detail::concat(args...));
+}
+
+/** Terminate the run: the user's configuration or environment is broken. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    detail::fatalImpl(detail::concat(args...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(const Args&... args)
+{
+    detail::warnImpl(detail::concat(args...));
+}
+
+/** Print an informational message to stdout. */
+template <typename... Args>
+void
+inform(const Args&... args)
+{
+    detail::informImpl(detail::concat(args...));
+}
+
+/** Globally silence inform() output (benchmarks, tests). */
+void setQuiet(bool quiet);
+
+/** @return whether inform() output is currently suppressed. */
+bool quiet();
+
+} // namespace gest
+
+#endif // GEST_UTIL_LOGGING_HH

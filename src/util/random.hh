@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the GA engine.
+ *
+ * All stochastic framework behaviour flows through a single Rng instance so
+ * a run is exactly reproducible from its seed. The generator is
+ * xoshiro256** seeded through SplitMix64, which is fast, high quality and
+ * has a trivially serializable state.
+ */
+
+#ifndef GEST_UTIL_RANDOM_HH
+#define GEST_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace gest {
+
+/**
+ * xoshiro256** generator with convenience draws used by the GA operators.
+ */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Draw the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /** Uniformly pick an element of a non-empty vector. */
+    template <typename T>
+    const T&
+    pick(const std::vector<T>& v)
+    {
+        if (v.empty())
+            panic("Rng::pick on empty vector");
+        return v[nextBelow(v.size())];
+    }
+
+    /** Uniformly pick an index of a non-empty container. */
+    std::size_t
+    pickIndex(std::size_t size)
+    {
+        if (size == 0)
+            panic("Rng::pickIndex with size 0");
+        return static_cast<std::size_t>(nextBelow(size));
+    }
+
+    /** Fork a child generator with an independent stream. */
+    Rng split();
+
+    /** @return the internal 256-bit state (for checkpointing). */
+    std::array<std::uint64_t, 4> state() const { return _state; }
+
+    /** Restore a previously captured state. */
+    void setState(const std::array<std::uint64_t, 4>& s) { _state = s; }
+
+  private:
+    std::array<std::uint64_t, 4> _state;
+};
+
+} // namespace gest
+
+#endif // GEST_UTIL_RANDOM_HH

@@ -1,0 +1,151 @@
+#include "util/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gest {
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t begin = 0;
+    std::size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string
+replaceAll(std::string s, std::string_view from, std::string_view to)
+{
+    if (from.empty())
+        return s;
+    std::size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+std::int64_t
+parseInt(std::string_view s, std::string_view what)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        fatal("expected an integer for ", what, ", got an empty string");
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0')
+        fatal("malformed integer '", t, "' for ", what);
+    return v;
+}
+
+double
+parseDouble(std::string_view s, std::string_view what)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        fatal("expected a number for ", what, ", got an empty string");
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+        fatal("malformed number '", t, "' for ", what);
+    return v;
+}
+
+bool
+parseBool(std::string_view s, std::string_view what)
+{
+    const std::string t = toLower(trim(s));
+    if (t == "true" || t == "1" || t == "yes")
+        return true;
+    if (t == "false" || t == "0" || t == "no")
+        return false;
+    fatal("malformed boolean '", std::string(s), "' for ", what);
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace gest

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small string helpers shared across the framework.
+ */
+
+#ifndef GEST_UTIL_STRUTIL_HH
+#define GEST_UTIL_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gest {
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Join the elements of @p parts with @p sep between them. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/** @return true if @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** @return true if @p s ends with @p suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Replace every occurrence of @p from in @p s by @p to. */
+std::string replaceAll(std::string s, std::string_view from,
+                       std::string_view to);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/**
+ * Parse a signed integer (decimal, or hex with a 0x prefix).
+ * Calls fatal() with @p what in the message on malformed input.
+ */
+std::int64_t parseInt(std::string_view s, std::string_view what);
+
+/** Parse a double; fatal() with @p what on malformed input. */
+double parseDouble(std::string_view s, std::string_view what);
+
+/** Parse "true"/"false"/"1"/"0" case-insensitively. */
+bool parseBool(std::string_view s, std::string_view what);
+
+/** Render a double with fixed precision (for file names and tables). */
+std::string formatFixed(double v, int precision);
+
+} // namespace gest
+
+#endif // GEST_UTIL_STRUTIL_HH

@@ -1,0 +1,417 @@
+#include "workloads/workloads.hh"
+
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace workloads {
+
+namespace {
+
+/** Terse instance-builder bound to one library. */
+class Builder
+{
+  public:
+    explicit Builder(const isa::InstructionLibrary& lib) : _lib(lib) {}
+
+    Builder&
+    add(std::string_view name, std::vector<std::string> values = {})
+    {
+        _code.push_back(_lib.makeInstance(name, values));
+        return *this;
+    }
+
+    /** Repeat the instructions added by @p fill @p times times. */
+    Builder&
+    repeat(int times, const std::function<void(Builder&)>& fill)
+    {
+        for (int i = 0; i < times; ++i)
+            fill(*this);
+        return *this;
+    }
+
+    std::vector<isa::InstructionInstance>
+    take()
+    {
+        return std::move(_code);
+    }
+
+  private:
+    const isa::InstructionLibrary& _lib;
+    std::vector<isa::InstructionInstance> _code;
+};
+
+std::string
+imm(int value)
+{
+    return std::to_string(value);
+}
+
+} // namespace
+
+std::vector<Workload>
+armBareMetalBaselines(const isa::InstructionLibrary& lib)
+{
+    std::vector<Workload> out;
+
+    // coremark-like: list/matrix/state-machine integer code — dependent
+    // ALU chains, moderate memory traffic, frequent branches.
+    {
+        Builder b(lib);
+        for (int block = 0; block < 4; ++block) {
+            const int off = block * 32;
+            b.add("LDR", {"x2", "x10", imm(off)});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("SUB", {"x5", "x4", "x6"});
+            b.add("EOR", {"x6", "x5", "x7"});
+            b.add("LSL", {"x7", "x8", "3"});
+            b.add("MUL", {"x8", "x8", "x9"});
+            b.add("STR", {"x4", "x10", imm(off + 128)});
+            b.add("BNE");
+            b.add("ADD", {"x9", "x9", "x4"});
+            b.add("ORR", {"x4", "x6", "x8"});
+        }
+        out.push_back({"coremark", b.take()});
+    }
+
+    // imdct-like: fixed-point butterflies — multiply-accumulate heavy
+    // with streaming loads/stores.
+    {
+        Builder b(lib);
+        for (int block = 0; block < 5; ++block) {
+            const int off = block * 16;
+            b.add("LDR", {"x2", "x10", imm(off)});
+            b.add("LDR", {"x3", "x10", imm(off + 64)});
+            b.add("MUL", {"x4", "x5", "x6"});
+            b.add("MADD", {"x5", "x6", "x7", "x8"});
+            b.add("ADD", {"x6", "x7", "x8"});
+            b.add("MADD", {"x7", "x8", "x9", "x4"});
+            b.add("STR", {"x5", "x10", imm(off + 128)});
+            b.add("SUB", {"x8", "x9", "x4"});
+        }
+        out.push_back({"imdct", b.take()});
+    }
+
+    // fdct-like: shift/add dominated with fewer multiplies.
+    {
+        Builder b(lib);
+        for (int block = 0; block < 5; ++block) {
+            const int off = block * 24;
+            b.add("LDR", {"x2", "x10", imm(off)});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("SUB", {"x5", "x6", "x7"});
+            b.add("LSL", {"x6", "x7", "11"});
+            b.add("LSL", {"x7", "x8", "8"});
+            b.add("ADD", {"x8", "x9", "x4"});
+            b.add("MUL", {"x9", "x4", "x5"});
+            b.add("STR", {"x4", "x10", imm(off + 96)});
+        }
+        out.push_back({"fdct", b.take()});
+    }
+
+    // A15 manual stress-test: the classic human power virus — dense,
+    // mostly independent NEON multiplies with streaming vector loads and
+    // a little integer filler. Strong, but it leaves the LSU and the
+    // integer pipes underused compared to the GA's balance.
+    {
+        Builder b(lib);
+        const char* v[8] = {"v0", "v1", "v2", "v3",
+                            "v4", "v5", "v6", "v7"};
+        for (int round = 0; round < 5; ++round) {
+            for (int reg = 0; reg < 6; ++reg)
+                b.add("FMUL", {v[reg], v[(reg + 2) % 8],
+                               v[(reg + 5) % 8]});
+            b.add("LDRQ", {"q" + std::to_string(round % 8), "x10",
+                           imm(round * 16)});
+            b.add("FADD", {v[(round + 6) % 8], v[(round + 1) % 8],
+                           v[(round + 4) % 8]});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("MUL", {"x5", "x6", "x7"});
+        }
+        out.push_back({"A15manual_stress_test", b.take()});
+    }
+
+    // A7 manual stress-test: a human targeting the LITTLE core mixes
+    // integer, memory and some NEON to keep both issue slots busy — but
+    // underestimates how much of the small core's power is in the fetch
+    // and branch path, which the GA discovers.
+    {
+        Builder b(lib);
+        for (int round = 0; round < 5; ++round) {
+            const int off = round * 32;
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("MUL", {"x5", "x6", "x7"});
+            b.add("LDR", {"x2", "x10", imm(off)});
+            b.add("EOR", {"x6", "x7", "x8"});
+            b.add("FMULS", {"d" + std::to_string(round % 8),
+                            "d" + std::to_string((round + 2) % 8),
+                            "d" + std::to_string((round + 5) % 8)});
+            b.add("SUB", {"x7", "x8", "x9"});
+            b.add("STR", {"x8", "x10", imm(off + 96)});
+            b.add("ADD", {"x8", "x9", "x4"});
+            b.add("LSL", {"x9", "x4", "7"});
+            b.add("BNE");
+        }
+        out.push_back({"A7manual_stress_test", b.take()});
+    }
+
+    return out;
+}
+
+std::vector<Workload>
+serverBaselines(const isa::InstructionLibrary& lib)
+{
+    std::vector<Workload> out;
+
+    // Parsec-like kernels.
+    {
+        // bodytrack: balanced FP/int/memory vision code.
+        Builder b(lib);
+        for (int block = 0; block < 4; ++block) {
+            const int off = block * 32;
+            b.add("LDR", {"x2", "x10", imm(off)});
+            b.add("FMULS", {"d0", "d1", "d2"});
+            b.add("FADDS", {"d1", "d2", "d3"});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("SUB", {"x5", "x6", "x7"});
+            b.add("LDR", {"x3", "x10", imm(off + 64)});
+            b.add("MUL", {"x6", "x7", "x8"});
+            b.add("STR", {"x4", "x10", imm(off + 160)});
+            b.add("BNE");
+            b.add("FMULS", {"d2", "d3", "d4"});
+        }
+        out.push_back({"bodytrack", b.take()});
+    }
+    {
+        // x264: SIMD integer + memory.
+        Builder b(lib);
+        for (int block = 0; block < 5; ++block) {
+            const int off = block * 16;
+            b.add("LDRQ", {"q" + std::to_string(block % 8), "x10",
+                           imm(off)});
+            b.add("FADD", {"v0", "v1", "v2"});
+            b.add("VAND", {"v1", "v2", "v3"});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("STRQ", {"q" + std::to_string((block + 4) % 8), "x10",
+                           imm(off + 128)});
+            b.add("EOR", {"x5", "x6", "x7"});
+            b.add("BNE");
+        }
+        out.push_back({"x264", b.take()});
+    }
+    {
+        // swaptions: scalar-FP Monte Carlo.
+        Builder b(lib);
+        for (int block = 0; block < 6; ++block) {
+            b.add("FMULS", {"d0", "d1", "d2"});
+            b.add("FADDS", {"d1", "d2", "d3"});
+            b.add("FMULS", {"d2", "d3", "d4"});
+            b.add("FADDS", {"d3", "d4", "d5"});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("LDR", {"x2", "x10", imm(block * 16)});
+        }
+        out.push_back({"swaptions", b.take()});
+    }
+    {
+        // canneal: pointer chasing — dependent loads.
+        Builder b(lib);
+        for (int block = 0; block < 8; ++block) {
+            b.add("LDR", {"x2", "x10", imm(block * 32)});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("LDR", {"x3", "x10", imm(block * 32 + 8)});
+            b.add("EOR", {"x5", "x5", "x6"});
+            b.add("BNE");
+        }
+        out.push_back({"canneal", b.take()});
+    }
+    {
+        // streamcluster: distance computations, FP + streaming loads.
+        Builder b(lib);
+        for (int block = 0; block < 5; ++block) {
+            const int off = block * 16;
+            b.add("LDRQ", {"q" + std::to_string(block % 4), "x10",
+                           imm(off)});
+            b.add("FMUL", {"v0", "v1", "v2"});
+            b.add("FADD", {"v1", "v2", "v3"});
+            b.add("FMLA", {"v2", "v3", "v4"});
+            b.add("SUB", {"x4", "x5", "x6"});
+            b.add("BNE");
+        }
+        out.push_back({"streamcluster", b.take()});
+    }
+
+    // NAS-like kernels.
+    {
+        // cg: sparse matrix-vector — loads feeding FP adds.
+        Builder b(lib);
+        for (int block = 0; block < 6; ++block) {
+            b.add("LDR", {"x2", "x10", imm(block * 40)});
+            b.add("LDR", {"x3", "x10", imm(block * 40 + 8)});
+            b.add("FMULS", {"d0", "d1", "d2"});
+            b.add("FADDS", {"d1", "d0", "d3"});
+            b.add("ADD", {"x4", "x4", "x5"});
+        }
+        out.push_back({"cg", b.take()});
+    }
+    {
+        // mg: stencil — FP adds with neighbouring loads/stores.
+        Builder b(lib);
+        for (int block = 0; block < 5; ++block) {
+            const int off = block * 24;
+            b.add("LDR", {"x2", "x10", imm(off)});
+            b.add("LDR", {"x3", "x10", imm(off + 8)});
+            b.add("FADDS", {"d0", "d1", "d2"});
+            b.add("FADDS", {"d1", "d2", "d3"});
+            b.add("FMULS", {"d2", "d3", "d4"});
+            b.add("STR", {"x4", "x10", imm(off + 160)});
+        }
+        out.push_back({"mg", b.take()});
+    }
+    {
+        // ft: FFT butterflies — SIMD FP multiply-add dense.
+        Builder b(lib);
+        for (int block = 0; block < 6; ++block) {
+            b.add("FMUL", {"v" + std::to_string(block % 4),
+                           "v" + std::to_string((block + 1) % 8),
+                           "v" + std::to_string((block + 2) % 8)});
+            b.add("FMLA", {"v" + std::to_string((block + 4) % 8),
+                           "v" + std::to_string((block + 5) % 8),
+                           "v" + std::to_string((block + 6) % 8)});
+            b.add("FADD", {"v" + std::to_string((block + 2) % 8),
+                           "v" + std::to_string((block + 3) % 8),
+                           "v" + std::to_string((block + 7) % 8)});
+            b.add("LDRQ", {"q" + std::to_string(block % 8), "x10",
+                           imm(block * 16)});
+        }
+        out.push_back({"ft", b.take()});
+    }
+    {
+        // ep: embarrassingly parallel random numbers — pure scalar FP.
+        Builder b(lib);
+        for (int block = 0; block < 8; ++block) {
+            b.add("FMULS", {"d" + std::to_string(block % 4),
+                            "d" + std::to_string((block + 1) % 8),
+                            "d" + std::to_string((block + 2) % 8)});
+            b.add("FADDS", {"d" + std::to_string((block + 3) % 8),
+                            "d" + std::to_string((block + 4) % 8),
+                            "d" + std::to_string((block + 5) % 8)});
+            b.add("MUL", {"x4", "x5", "x6"});
+        }
+        out.push_back({"ep", b.take()});
+    }
+    {
+        // lu: dense linear algebra — FMA + loads.
+        Builder b(lib);
+        for (int block = 0; block < 5; ++block) {
+            const int off = block * 16;
+            b.add("LDRQ", {"q" + std::to_string(block % 8), "x10",
+                           imm(off)});
+            b.add("FMLA", {"v0", "v1", "v2"});
+            b.add("FMLA", {"v3", "v4", "v5"});
+            b.add("ADD", {"x4", "x4", "x5"});
+            b.add("STR", {"x5", "x10", imm(off + 192)});
+        }
+        out.push_back({"lu", b.take()});
+    }
+
+    return out;
+}
+
+std::vector<Workload>
+x86Baselines(const isa::InstructionLibrary& lib)
+{
+    std::vector<Workload> out;
+
+    // Prime95-like: sustained dense packed-FP FFT kernel. Very high
+    // steady power, little cycle-to-cycle current variation — a great
+    // power virus and a poor dI/dt virus (§VI).
+    {
+        Builder b(lib);
+        for (int block = 0; block < 8; ++block) {
+            const std::string a = "xmm" + std::to_string(block % 8);
+            const std::string c =
+                "xmm" + std::to_string((block + 3) % 8);
+            b.add("MULPD", {a, c});
+            b.add("ADDPD", {c, a});
+            b.add("LOADPD", {"xmm" + std::to_string((block + 5) % 8),
+                             "r10", imm(block * 16)});
+        }
+        out.push_back({"prime95", b.take()});
+    }
+
+    // AMD-stability-test-like: mixed sustained FP/integer/memory burn.
+    {
+        Builder b(lib);
+        for (int block = 0; block < 6; ++block) {
+            b.add("MULPD", {"xmm" + std::to_string(block % 8),
+                            "xmm" + std::to_string((block + 2) % 8)});
+            b.add("IMUL", {"rax", "rcx"});
+            b.add("ADD", {"rdx", "rbx"});
+            b.add("LOAD", {"r9", "r10", imm(block * 24)});
+            b.add("ADDPD", {"xmm" + std::to_string((block + 4) % 8),
+                            "xmm" + std::to_string((block + 6) % 8)});
+            b.add("STORE", {"rsi", "r10", imm(block * 24 + 128)});
+        }
+        out.push_back({"amd_stability_test", b.take()});
+    }
+
+    // coremark-like integer mix.
+    {
+        Builder b(lib);
+        for (int block = 0; block < 6; ++block) {
+            b.add("LOAD", {"r9", "r10", imm(block * 32)});
+            b.add("ADD", {"rax", "rcx"});
+            b.add("SUB", {"rcx", "rdx"});
+            b.add("XOR", {"rdx", "rbx"});
+            b.add("IMUL", {"rbx", "rsi"});
+            b.add("STORE", {"rdi", "r10", imm(block * 32 + 96)});
+            b.add("JNEXT");
+        }
+        out.push_back({"coremark", b.take()});
+    }
+
+    // Game-like: bursty mixed workload with stalls — phases of activity
+    // but not tuned to any resonance.
+    {
+        Builder b(lib);
+        for (int block = 0; block < 4; ++block) {
+            b.add("MULPD", {"xmm0", "xmm1"});
+            b.add("ADDPD", {"xmm1", "xmm2"});
+            b.add("MULSD", {"xmm2", "xmm3"});
+            b.add("LOAD", {"r9", "r10", imm(block * 40)});
+            b.add("ADD", {"rax", "rcx"});
+            b.add("NOP");
+            b.add("NOP");
+            b.add("JNEXT");
+            b.add("IMUL", {"rcx", "rdx"});
+            b.add("NOP");
+        }
+        out.push_back({"game_like", b.take()});
+    }
+
+    // Idle-like spin loop.
+    {
+        Builder b(lib);
+        for (int i = 0; i < 10; ++i)
+            b.add("NOP");
+        b.add("ADD", {"rax", "rcx"});
+        b.add("JNEXT");
+        out.push_back({"idle_spin", b.take()});
+    }
+
+    return out;
+}
+
+const Workload&
+byName(const std::vector<Workload>& set, const std::string& name)
+{
+    for (const Workload& w : set) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("no baseline workload named '", name, "'");
+}
+
+} // namespace workloads
+} // namespace gest

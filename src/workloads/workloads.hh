@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Baseline workloads.
+ *
+ * Every figure in the paper compares the GA virus against conventional
+ * benchmarks and hand-written stress-tests (coremark/imdct/fdct on the
+ * Versatile Express boards, Parsec and NAS on the X-Gene2, Prime95 and
+ * the AMD stability test on the Athlon). The real binaries are not
+ * reproducible here, so each baseline is a fixed loop kernel with the
+ * characteristic instruction mix and dependency structure of the
+ * original: the figures only need their *relative* activity profiles.
+ */
+
+#ifndef GEST_WORKLOADS_WORKLOADS_HH
+#define GEST_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/library.hh"
+
+namespace gest {
+namespace workloads {
+
+/** A named fixed instruction sequence runnable on a platform. */
+struct Workload
+{
+    std::string name;
+    std::vector<isa::InstructionInstance> code;
+};
+
+/**
+ * Bare-metal baselines for the ARM library (Figures 5 and 6): coremark,
+ * imdct, fdct, and the hand-written A15/A7 stress tests.
+ */
+std::vector<Workload> armBareMetalBaselines(
+    const isa::InstructionLibrary& lib);
+
+/**
+ * Server baselines for the X-Gene2 run (Figure 7): Parsec-like and
+ * NAS-like kernels.
+ */
+std::vector<Workload> serverBaselines(const isa::InstructionLibrary& lib);
+
+/**
+ * Desktop x86 baselines for the Athlon dI/dt study (Figures 8 and 9):
+ * Prime95-like, the AMD-stability-test-like kernel and conventional
+ * workloads.
+ */
+std::vector<Workload> x86Baselines(const isa::InstructionLibrary& lib);
+
+/** Find a workload by name in a baseline set; fatal() if absent. */
+const Workload& byName(const std::vector<Workload>& set,
+                       const std::string& name);
+
+} // namespace workloads
+} // namespace gest
+
+#endif // GEST_WORKLOADS_WORKLOADS_HH

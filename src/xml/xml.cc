@@ -1,0 +1,417 @@
+#include "xml/xml.hh"
+
+#include <cctype>
+
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace xml {
+
+namespace {
+
+bool
+isNameStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+}
+
+bool
+isNameChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+}
+
+} // namespace
+
+/**
+ * Recursive-descent XML parser over a string_view. Tracks line/column for
+ * error messages. All errors go through fail() -> fatal() because malformed
+ * configuration files are user errors, not framework bugs.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view input, std::string_view source)
+        : _input(input), _source(source)
+    {}
+
+    Document
+    parseDocument()
+    {
+        skipProlog();
+        Document doc;
+        doc._root = parseElement();
+        skipMisc();
+        if (!atEnd())
+            fail("trailing content after the root element");
+        return doc;
+    }
+
+  private:
+    std::string_view _input;
+    std::string _source;
+    std::size_t _pos = 0;
+    int _line = 1;
+    int _col = 1;
+
+    bool atEnd() const { return _pos >= _input.size(); }
+
+    char peek() const { return atEnd() ? '\0' : _input[_pos]; }
+
+    char
+    peekAt(std::size_t offset) const
+    {
+        return _pos + offset < _input.size() ? _input[_pos + offset] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = _input[_pos++];
+        if (c == '\n') {
+            ++_line;
+            _col = 1;
+        } else {
+            ++_col;
+        }
+        return c;
+    }
+
+    [[noreturn]] void
+    fail(const std::string& msg) const
+    {
+        std::string where = _source.empty() ? "<xml>" : _source;
+        fatal("XML error in ", where, " at line ", _line, ", column ",
+              _col, ": ", msg);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd() &&
+               std::isspace(static_cast<unsigned char>(peek())))
+            advance();
+    }
+
+    bool
+    lookingAt(std::string_view s) const
+    {
+        return _input.substr(_pos, s.size()) == s;
+    }
+
+    void
+    expect(std::string_view s)
+    {
+        if (!lookingAt(s))
+            fail("expected '" + std::string(s) + "'");
+        for (std::size_t i = 0; i < s.size(); ++i)
+            advance();
+    }
+
+    void
+    skipComment()
+    {
+        expect("<!--");
+        while (!atEnd() && !lookingAt("-->"))
+            advance();
+        if (atEnd())
+            fail("unterminated comment");
+        expect("-->");
+    }
+
+    void
+    skipProcessingInstruction()
+    {
+        expect("<?");
+        while (!atEnd() && !lookingAt("?>"))
+            advance();
+        if (atEnd())
+            fail("unterminated processing instruction");
+        expect("?>");
+    }
+
+    /** Skip whitespace, comments and <?...?> before/after the root. */
+    void
+    skipMisc()
+    {
+        for (;;) {
+            skipWhitespace();
+            if (lookingAt("<!--"))
+                skipComment();
+            else if (lookingAt("<?"))
+                skipProcessingInstruction();
+            else
+                return;
+        }
+    }
+
+    void
+    skipProlog()
+    {
+        skipMisc();
+        if (lookingAt("<!DOCTYPE")) {
+            while (!atEnd() && peek() != '>')
+                advance();
+            if (atEnd())
+                fail("unterminated DOCTYPE");
+            advance();
+            skipMisc();
+        }
+    }
+
+    std::string
+    parseName()
+    {
+        if (atEnd() || !isNameStart(peek()))
+            fail("expected a name");
+        std::string name;
+        name.push_back(advance());
+        while (!atEnd() && isNameChar(peek()))
+            name.push_back(advance());
+        return name;
+    }
+
+    std::string
+    parseEntity()
+    {
+        expect("&");
+        std::string entity;
+        while (!atEnd() && peek() != ';' && entity.size() < 8)
+            entity.push_back(advance());
+        if (peek() != ';')
+            fail("unterminated entity reference");
+        advance();
+        if (entity == "lt")
+            return "<";
+        if (entity == "gt")
+            return ">";
+        if (entity == "amp")
+            return "&";
+        if (entity == "quot")
+            return "\"";
+        if (entity == "apos")
+            return "'";
+        if (!entity.empty() && entity[0] == '#') {
+            const bool hex = entity.size() > 1 && entity[1] == 'x';
+            const long code = std::strtol(
+                entity.c_str() + (hex ? 2 : 1), nullptr, hex ? 16 : 10);
+            if (code <= 0 || code > 0x7f)
+                fail("unsupported character reference &" + entity + ";");
+            return std::string(1, static_cast<char>(code));
+        }
+        fail("unknown entity &" + entity + ";");
+    }
+
+    std::string
+    parseAttrValue()
+    {
+        if (peek() != '"' && peek() != '\'')
+            fail("expected a quoted attribute value");
+        const char quote = advance();
+        std::string value;
+        while (!atEnd() && peek() != quote) {
+            if (peek() == '&')
+                value += parseEntity();
+            else
+                value.push_back(advance());
+        }
+        if (atEnd())
+            fail("unterminated attribute value");
+        advance();
+        return value;
+    }
+
+    std::unique_ptr<Element>
+    parseElement()
+    {
+        expect("<");
+        auto elem = std::make_unique<Element>();
+        elem->_line = _line;
+        elem->_name = parseName();
+
+        // Attributes.
+        for (;;) {
+            skipWhitespace();
+            if (atEnd())
+                fail("unterminated start tag <" + elem->_name);
+            if (peek() == '>' || lookingAt("/>"))
+                break;
+            Attribute attr;
+            attr.name = parseName();
+            skipWhitespace();
+            expect("=");
+            skipWhitespace();
+            attr.value = parseAttrValue();
+            for (const Attribute& existing : elem->_attrs) {
+                if (existing.name == attr.name)
+                    fail("duplicate attribute '" + attr.name + "' on <" +
+                         elem->_name + ">");
+            }
+            elem->_attrs.push_back(std::move(attr));
+        }
+
+        if (lookingAt("/>")) {
+            expect("/>");
+            return elem;
+        }
+        expect(">");
+
+        // Content: text, children, comments, CDATA.
+        std::string text;
+        for (;;) {
+            if (atEnd())
+                fail("unterminated element <" + elem->_name + ">");
+            if (lookingAt("</")) {
+                expect("</");
+                const std::string close = parseName();
+                if (close != elem->_name)
+                    fail("mismatched closing tag </" + close +
+                         "> for <" + elem->_name + ">");
+                skipWhitespace();
+                expect(">");
+                break;
+            }
+            if (lookingAt("<!--")) {
+                skipComment();
+            } else if (lookingAt("<![CDATA[")) {
+                expect("<![CDATA[");
+                while (!atEnd() && !lookingAt("]]>"))
+                    text.push_back(advance());
+                if (atEnd())
+                    fail("unterminated CDATA section");
+                expect("]]>");
+            } else if (lookingAt("<?")) {
+                skipProcessingInstruction();
+            } else if (peek() == '<') {
+                elem->_children.push_back(parseElement());
+            } else if (peek() == '&') {
+                text += parseEntity();
+            } else {
+                text.push_back(advance());
+            }
+        }
+        elem->_text = trim(text);
+        return elem;
+    }
+};
+
+bool
+Element::hasAttr(std::string_view attr_name) const
+{
+    for (const Attribute& a : _attrs) {
+        if (a.name == attr_name)
+            return true;
+    }
+    return false;
+}
+
+const std::string&
+Element::attr(std::string_view attr_name) const
+{
+    for (const Attribute& a : _attrs) {
+        if (a.name == attr_name)
+            return a.value;
+    }
+    fatal("element <", _name, "> (line ", _line,
+          ") is missing required attribute '", std::string(attr_name), "'");
+}
+
+std::string
+Element::attrOr(std::string_view attr_name, std::string_view fallback) const
+{
+    for (const Attribute& a : _attrs) {
+        if (a.name == attr_name)
+            return a.value;
+    }
+    return std::string(fallback);
+}
+
+const Element*
+Element::child(std::string_view tag) const
+{
+    for (const auto& c : _children) {
+        if (c->name() == tag)
+            return c.get();
+    }
+    return nullptr;
+}
+
+std::vector<const Element*>
+Element::childrenNamed(std::string_view tag) const
+{
+    std::vector<const Element*> out;
+    for (const auto& c : _children) {
+        if (c->name() == tag)
+            out.push_back(c.get());
+    }
+    return out;
+}
+
+const Element&
+Element::requiredChild(std::string_view tag) const
+{
+    const Element* c = child(tag);
+    if (!c)
+        fatal("element <", _name, "> (line ", _line,
+              ") is missing required child <", std::string(tag), ">");
+    return *c;
+}
+
+std::string
+Element::toString(int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    std::string out = pad + "<" + _name;
+    for (const Attribute& a : _attrs)
+        out += " " + a.name + "=\"" + escape(a.value) + "\"";
+    if (_children.empty() && _text.empty())
+        return out + "/>\n";
+    out += ">";
+    if (!_text.empty())
+        out += escape(_text);
+    if (!_children.empty()) {
+        out += "\n";
+        for (const auto& c : _children)
+            out += c->toString(indent + 1);
+        out += pad;
+    }
+    return out + "</" + _name + ">\n";
+}
+
+Document
+parse(std::string_view input, std::string_view source_name)
+{
+    Parser parser(input, source_name);
+    return parser.parseDocument();
+}
+
+Document
+parseFile(const std::string& path)
+{
+    return parse(readFile(path), path);
+}
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&apos;"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace xml
+} // namespace gest

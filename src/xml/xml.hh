@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A minimal XML parser.
+ *
+ * GeST's inputs are XML configuration files (the main configuration plus
+ * per-measurement configurations). No external XML library is available in
+ * this environment, so the framework carries a small, strict parser that
+ * supports exactly what those files need: elements, attributes, nested
+ * children, text content, comments, processing instructions, CDATA and the
+ * five predefined entities. Errors carry line/column positions and are
+ * reported through fatal() (they are user-input errors).
+ */
+
+#ifndef GEST_XML_XML_HH
+#define GEST_XML_XML_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gest {
+namespace xml {
+
+/** One attribute on an element, in document order. */
+struct Attribute
+{
+    std::string name;
+    std::string value;
+};
+
+/**
+ * An element node. Text content is accumulated (concatenated, trimmed)
+ * into @ref text; child elements are stored in document order.
+ */
+class Element
+{
+  public:
+    /** Tag name. */
+    const std::string& name() const { return _name; }
+
+    /** Concatenated, trimmed text content of this element. */
+    const std::string& text() const { return _text; }
+
+    /** Attributes in document order. */
+    const std::vector<Attribute>& attributes() const { return _attrs; }
+
+    /** Child elements in document order. */
+    const std::vector<std::unique_ptr<Element>>& children() const
+    {
+        return _children;
+    }
+
+    /** @return true if the attribute is present. */
+    bool hasAttr(std::string_view attr_name) const;
+
+    /** Attribute value; fatal() if absent. */
+    const std::string& attr(std::string_view attr_name) const;
+
+    /** Attribute value or @p fallback if absent. */
+    std::string attrOr(std::string_view attr_name,
+                       std::string_view fallback) const;
+
+    /** First child element with the given tag, or nullptr. */
+    const Element* child(std::string_view tag) const;
+
+    /** All child elements with the given tag, in document order. */
+    std::vector<const Element*> childrenNamed(std::string_view tag) const;
+
+    /** First child with the given tag; fatal() if absent. */
+    const Element& requiredChild(std::string_view tag) const;
+
+    /** 1-based source line of the opening tag (for error messages). */
+    int line() const { return _line; }
+
+    /** Serialize this element (and subtree) back to XML text. */
+    std::string toString(int indent = 0) const;
+
+    // The parser is the only writer.
+    friend class Parser;
+
+  private:
+    std::string _name;
+    std::string _text;
+    std::vector<Attribute> _attrs;
+    std::vector<std::unique_ptr<Element>> _children;
+    int _line = 0;
+};
+
+/** A parsed document owning its root element. */
+class Document
+{
+  public:
+    /** The document's root element. */
+    const Element& root() const { return *_root; }
+
+    friend class Parser;
+
+  private:
+    std::unique_ptr<Element> _root;
+};
+
+/** Parse XML text; fatal() with a line/column message on malformed input. */
+Document parse(std::string_view input, std::string_view source_name = "");
+
+/** Parse the file at @p path. */
+Document parseFile(const std::string& path);
+
+/** Escape the five predefined entities in @p s. */
+std::string escape(std::string_view s);
+
+} // namespace xml
+} // namespace gest
+
+#endif // GEST_XML_XML_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end tests of the `gest` command-line tool: run a search from a
+ * configuration file, then post-process the run directory with `stats`
+ * and `fittest`, exactly as a user would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/fileutil.hh"
+#include "util/strutil.hh"
+
+#ifndef GEST_CLI_PATH
+#define GEST_CLI_PATH "./tools/gest"
+#endif
+
+namespace gest {
+namespace {
+
+/** Run the CLI, capture stdout+stderr, return the exit status. */
+int
+runCli(const std::string& args, std::string& output,
+       const std::string& scratch)
+{
+    const std::string out_file = scratch + "/cli_output.txt";
+    const std::string command = std::string(GEST_CLI_PATH) + " " + args +
+                                " > '" + out_file + "' 2>&1";
+    const int status = std::system(command.c_str());
+    tryReadFile(out_file, output);
+    return status;
+}
+
+class CliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = makeTempDir("gest-cli");
+        writeFile(_dir + "/config.xml", R"(
+<gest_configuration>
+  <ga population_size="8" individual_size="6" mutation_rate="0.2"
+      tournament_size="3" generations="3" seed="11"/>
+  <library name="arm"/>
+  <measurement class="SimPowerMeasurement">
+    <config platform="cortex-a7" min_cycles="1024"/>
+  </measurement>
+  <fitness class="DefaultFitness"/>
+  <output directory="run_out"/>
+</gest_configuration>
+)");
+    }
+
+    void TearDown() override { removeAll(_dir); }
+
+    std::string _dir;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage)
+{
+    std::string output;
+    EXPECT_NE(runCli("", output, _dir), 0);
+    EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, PlatformsListsPresets)
+{
+    std::string output;
+    EXPECT_EQ(runCli("platforms", output, _dir), 0);
+    EXPECT_NE(output.find("cortex-a15"), std::string::npos);
+    EXPECT_NE(output.find("athlon-x4"), std::string::npos);
+    EXPECT_NE(output.find("PDN instrumented"), std::string::npos);
+}
+
+TEST_F(CliTest, ClassesListsRegistries)
+{
+    std::string output;
+    EXPECT_EQ(runCli("classes", output, _dir), 0);
+    EXPECT_NE(output.find("SimPowerMeasurement"), std::string::npos);
+    EXPECT_NE(output.find("SimCacheMissMeasurement"), std::string::npos);
+    EXPECT_NE(output.find("TemperatureSimplicityFitness"),
+              std::string::npos);
+    EXPECT_NE(output.find("NativePerfMeasurement"), std::string::npos);
+}
+
+TEST_F(CliTest, RunThenStatsThenFittest)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("best individual"), std::string::npos);
+    EXPECT_NE(output.find("breakdown:"), std::string::npos);
+
+    const std::string run_dir = _dir + "/run_out";
+    EXPECT_TRUE(fileExists(run_dir + "/population_0.pop"));
+    EXPECT_TRUE(fileExists(run_dir + "/run_configuration.xml"));
+
+    // stats rebuilds the library from the recorded configuration.
+    ASSERT_EQ(runCli("stats '" + run_dir + "'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("best_fitness"), std::string::npos);
+    EXPECT_EQ(split(trim(output), '\n').size(), 4u); // header + 3 gens
+
+    ASSERT_EQ(runCli("fittest '" + run_dir + "'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("# id "), std::string::npos);
+    // Six instructions follow the header line.
+    EXPECT_EQ(split(trim(output), '\n').size(), 7u);
+}
+
+TEST_F(CliTest, StatsWithExplicitLibraryOverride)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml'", output, _dir), 0);
+    EXPECT_EQ(runCli("stats '" + _dir + "/run_out' --library arm",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("best_fitness"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsWorksWhenConfigReferencedExternalFiles)
+{
+    // Regression: the recorded configuration references the template
+    // relative to the *original* directory; stats/fittest must still
+    // rebuild the library from inside the run directory.
+    writeFile(_dir + "/tmpl.s", "loop:\n#loop_code\nb loop\n");
+    writeFile(_dir + "/config_tmpl.xml", R"(
+<gest_configuration>
+  <ga population_size="6" individual_size="5" tournament_size="3"
+      generations="2" seed="9"/>
+  <library name="arm"/>
+  <measurement class="SimPowerMeasurement">
+    <config platform="cortex-a7" min_cycles="1024"/>
+  </measurement>
+  <template file="tmpl.s"/>
+  <output directory="run_tmpl"/>
+</gest_configuration>
+)");
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config_tmpl.xml'", output, _dir),
+              0)
+        << output;
+    ASSERT_EQ(runCli("stats '" + _dir + "/run_tmpl'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("best_fitness"), std::string::npos);
+    ASSERT_EQ(runCli("fittest '" + _dir + "/run_tmpl'", output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("# id "), std::string::npos);
+}
+
+TEST_F(CliTest, RunWithMissingConfigFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("run /nonexistent/config.xml", output, _dir), 0);
+    EXPECT_NE(output.find("fatal:"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsOnEmptyDirectoryFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("stats '" + _dir + "'", output, _dir), 0);
+    EXPECT_NE(output.find("fatal:"), std::string::npos);
+}
+
+} // namespace
+} // namespace gest

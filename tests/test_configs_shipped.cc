@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The shipped example configurations under configs/ must all parse,
+ * validate, and run end-to-end (at a reduced GA budget). This keeps the
+ * user-facing entry points from rotting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/config.hh"
+#include "util/fileutil.hh"
+
+#ifndef GEST_CONFIGS_DIR
+#define GEST_CONFIGS_DIR "configs"
+#endif
+
+namespace gest {
+namespace {
+
+class ShippedConfigTest : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(ShippedConfigTest, ParsesAndRunsEndToEnd)
+{
+    const std::string path =
+        std::string(GEST_CONFIGS_DIR) + "/" + GetParam();
+    ASSERT_TRUE(fileExists(path)) << path;
+
+    config::RunConfig cfg = config::loadConfig(path);
+    EXPECT_GT(cfg.library.numInstructions(), 0u);
+    EXPECT_FALSE(cfg.measurementClass.empty());
+    EXPECT_FALSE(cfg.outputDirectory.empty());
+
+    // Shrink the budget and redirect artifacts to scratch space.
+    cfg.ga.populationSize = 6;
+    cfg.ga.tournamentSize = 3;
+    cfg.ga.generations = 2;
+    const std::string scratch = makeTempDir("gest-shipped");
+    cfg.outputDirectory = scratch + "/out";
+
+    const config::RunResult result = config::runFromConfig(cfg);
+    EXPECT_TRUE(result.best.evaluated);
+    EXPECT_EQ(result.history.size(), 2u);
+    EXPECT_TRUE(fileExists(cfg.outputDirectory + "/population_1.pop"));
+    removeAll(scratch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShipped, ShippedConfigTest,
+    ::testing::Values("a15_power.xml", "a15_power_armv7.xml",
+                      "a7_power.xml", "xgene2_temperature.xml",
+                      "xgene2_ipc.xml", "xgene2_simple_power.xml",
+                      "athlon_didt.xml", "xgene2_llc_stress.xml"));
+
+TEST(ShippedTemplate, BareMetalTemplateHasMarker)
+{
+    const std::string path = std::string(GEST_CONFIGS_DIR) +
+                             "/templates/bare_metal_loop.s";
+    ASSERT_TRUE(fileExists(path));
+    const isa::AsmTemplate tmpl = isa::AsmTemplate::fromFile(path);
+    const std::string rendered = tmpl.render({"FMUL v0.2D, v1.2D, "
+                                              "v2.2D"});
+    EXPECT_NE(rendered.find("FMUL v0.2D"), std::string::npos);
+    EXPECT_NE(rendered.find("0xAAAAAAAAAAAAAAAA"), std::string::npos);
+    EXPECT_NE(rendered.find("b loop_start"), std::string::npos);
+}
+
+TEST(ShippedConfig, A15PowerUsesTemplateRendering)
+{
+    const config::RunConfig cfg = config::loadConfig(
+        std::string(GEST_CONFIGS_DIR) + "/a15_power.xml");
+    ASSERT_TRUE(cfg.asmTemplate.has_value());
+    EXPECT_NE(cfg.asmTemplate->text().find("#loop_code"),
+              std::string::npos);
+}
+
+TEST(ShippedConfig, LlcConfigDeclaresFigure4StyleInstructions)
+{
+    const config::RunConfig cfg = config::loadConfig(
+        std::string(GEST_CONFIGS_DIR) + "/xgene2_llc_stress.xml");
+    EXPECT_GE(cfg.library.findInstruction("ADVANCE"), 0);
+    const int advance = cfg.library.findInstruction("ADVANCE");
+    EXPECT_EQ(cfg.library
+                  .instruction(static_cast<std::size_t>(advance))
+                  .opcode,
+              isa::Opcode::AddWrap);
+    EXPECT_EQ(cfg.measurementClass, "SimCacheMissMeasurement");
+}
+
+} // namespace
+} // namespace gest

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the fitness functions, including the paper's Equation 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fitness/fitness.hh"
+#include "isa/standard_libs.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace fitness {
+namespace {
+
+core::Individual
+individualWith(const isa::InstructionLibrary& lib,
+               std::vector<double> measurements, int unique_instrs,
+               int total)
+{
+    core::Individual ind;
+    ind.measurements = std::move(measurements);
+    ind.evaluated = true;
+    Rng rng(1);
+    for (int i = 0; i < total; ++i)
+        ind.code.push_back(lib.randomInstanceOf(
+            static_cast<std::size_t>(i % unique_instrs), rng));
+    return ind;
+}
+
+TEST(DefaultFitness, UsesFirstMeasurement)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const core::Individual ind =
+        individualWith(lib, {3.5, 99.0}, 2, 10);
+    DefaultFitness fit;
+    EXPECT_DOUBLE_EQ(fit.getFitness(ind, lib), 3.5);
+}
+
+TEST(DefaultFitness, EmptyMeasurementsIsFatal)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const core::Individual ind = individualWith(lib, {}, 2, 10);
+    DefaultFitness fit;
+    EXPECT_THROW(fit.getFitness(ind, lib), FatalError);
+}
+
+TEST(WeightedSum, CombinesMeasurements)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const core::Individual ind =
+        individualWith(lib, {2.0, 10.0, 100.0}, 2, 10);
+    WeightedSumFitness fit;
+    fit.setWeights({1.0, 0.5, -0.01});
+    EXPECT_DOUBLE_EQ(fit.getFitness(ind, lib), 2.0 + 5.0 - 1.0);
+}
+
+TEST(WeightedSum, TooFewMeasurementsIsFatal)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const core::Individual ind = individualWith(lib, {2.0}, 2, 10);
+    WeightedSumFitness fit;
+    fit.setWeights({1.0, 1.0});
+    EXPECT_THROW(fit.getFitness(ind, lib), FatalError);
+    EXPECT_THROW(fit.setWeights({}), FatalError);
+}
+
+TEST(WeightedSum, InitParsesWeightsAttribute)
+{
+    const xml::Document doc =
+        xml::parse("<config weights=\"2.0 -1.0\"/>");
+    WeightedSumFitness fit;
+    fit.init(&doc.root());
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const core::Individual ind =
+        individualWith(lib, {3.0, 4.0}, 2, 10);
+    EXPECT_DOUBLE_EQ(fit.getFitness(ind, lib), 2.0);
+}
+
+TEST(Equation1, MatchesPaperArithmetic)
+{
+    // F = (M_T - I_T)/(MAX_T - I_T) * 0.5 + (T_I - U_I)/T_I * 0.5
+    // The paper's worked example: half the instructions unique ->
+    // simplicity 0.5; 30% unique -> simplicity 0.7 (before the 0.5
+    // weight). Scaled to the bundled library's instruction count.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    TemperatureSimplicityFitness fit(40.0, 100.0);
+
+    const core::Individual half =
+        individualWith(lib, {70.0}, 20, 40);
+    // Temperature score (70-40)/(100-40) = 0.5; simplicity 0.5.
+    EXPECT_NEAR(fit.getFitness(half, lib), 0.25 + 0.25, 1e-9);
+
+    const core::Individual simpler =
+        individualWith(lib, {70.0}, 12, 40);
+    EXPECT_NEAR(fit.getFitness(simpler, lib), 0.25 + 0.35, 1e-9);
+}
+
+TEST(Equation1, BoundedToUnitInterval)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    TemperatureSimplicityFitness fit(40.0, 100.0);
+
+    // Hotter than MAX_T clamps the temperature score at 1.
+    const core::Individual hot = individualWith(lib, {500.0}, 1, 50);
+    EXPECT_LE(fit.getFitness(hot, lib), 1.0);
+
+    // Colder than idle clamps at 0.
+    const core::Individual cold = individualWith(lib, {10.0}, 20, 40);
+    EXPECT_NEAR(fit.getFitness(cold, lib), 0.25, 1e-9);
+}
+
+TEST(Equation1, RewardsSimplicityAtEqualTemperature)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    TemperatureSimplicityFitness fit(40.0, 100.0);
+    const core::Individual complex_ind =
+        individualWith(lib, {80.0}, 20, 40);
+    const core::Individual simple_ind =
+        individualWith(lib, {80.0}, 5, 40);
+    EXPECT_GT(fit.getFitness(simple_ind, lib),
+              fit.getFitness(complex_ind, lib));
+}
+
+TEST(Equation1, InitParsesTemperatures)
+{
+    const xml::Document doc = xml::parse(
+        "<config idle_temperature=\"30\" max_temperature=\"90\"/>");
+    TemperatureSimplicityFitness fit;
+    fit.init(&doc.root());
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const core::Individual ind = individualWith(lib, {60.0}, 20, 40);
+    EXPECT_NEAR(fit.getFitness(ind, lib), 0.25 + 0.25, 1e-9);
+}
+
+TEST(Equation1, RejectsInvertedRange)
+{
+    EXPECT_THROW(TemperatureSimplicityFitness(90.0, 50.0), FatalError);
+    const xml::Document doc = xml::parse(
+        "<config idle_temperature=\"90\" max_temperature=\"50\"/>");
+    TemperatureSimplicityFitness fit;
+    EXPECT_THROW(fit.init(&doc.root()), FatalError);
+}
+
+TEST(Registry, BuiltinsRegisteredOnce)
+{
+    registerBuiltinFitness();
+    registerBuiltinFitness(); // idempotent
+    FitnessRegistry& registry = FitnessRegistry::instance();
+    EXPECT_TRUE(registry.contains("DefaultFitness"));
+    EXPECT_TRUE(registry.contains("WeightedSumFitness"));
+    EXPECT_TRUE(registry.contains("TemperatureSimplicityFitness"));
+    EXPECT_FALSE(registry.contains("NoSuchFitness"));
+    EXPECT_THROW(registry.create("NoSuchFitness"), FatalError);
+
+    const auto fit = registry.create("DefaultFitness");
+    EXPECT_EQ(fit->name(), "DefaultFitness");
+    EXPECT_GE(registry.names().size(), 3u);
+}
+
+} // namespace
+} // namespace fitness
+} // namespace gest

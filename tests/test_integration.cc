@@ -1,0 +1,216 @@
+/**
+ * @file
+ * End-to-end integration tests: short GA searches against the simulated
+ * platforms must reproduce the paper's qualitative results. Generation
+ * counts are kept small; the bench harnesses run the full-length
+ * experiments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/config.hh"
+#include "core/engine.hh"
+#include "measure/sim_measurements.hh"
+#include "platform/platform.hh"
+#include "workloads/workloads.hh"
+
+namespace gest {
+namespace {
+
+core::GaParams
+quickParams(int individual_size, int generations, std::uint64_t seed)
+{
+    core::GaParams params;
+    params.populationSize = 24;
+    params.individualSize = individual_size;
+    params.mutationRate =
+        core::GaParams::mutationRateForSize(individual_size);
+    params.generations = generations;
+    params.seed = seed;
+    return params;
+}
+
+core::Individual
+runGa(const std::shared_ptr<const platform::Platform>& plat,
+      measure::Measurement& meas, const core::GaParams& params)
+{
+    fitness::DefaultFitness fit;
+    core::Engine engine(params, plat->library(), meas, fit);
+    engine.run();
+    return engine.bestEver();
+}
+
+TEST(Integration, PowerSearchBeatsEveryBaselineOnA15)
+{
+    const auto plat = platform::cortexA15Platform();
+    measure::SimPowerMeasurement meas(plat->library(), plat);
+    const core::Individual virus =
+        runGa(plat, meas, quickParams(50, 18, 11));
+
+    double best_baseline = 0.0;
+    for (const auto& w :
+         workloads::armBareMetalBaselines(plat->library())) {
+        best_baseline = std::max(
+            best_baseline,
+            plat->evaluate(w.code, plat->library()).chipPowerWatts);
+    }
+    EXPECT_GT(virus.fitness, best_baseline);
+}
+
+TEST(Integration, PowerSearchBeatsEveryBaselineOnA7)
+{
+    const auto plat = platform::cortexA7Platform();
+    measure::SimPowerMeasurement meas(plat->library(), plat);
+    const core::Individual virus =
+        runGa(plat, meas, quickParams(50, 18, 12));
+
+    double best_baseline = 0.0;
+    for (const auto& w :
+         workloads::armBareMetalBaselines(plat->library())) {
+        best_baseline = std::max(
+            best_baseline,
+            plat->evaluate(w.code, plat->library()).chipPowerWatts);
+    }
+    EXPECT_GT(virus.fitness, best_baseline);
+}
+
+TEST(Integration, CrossVirusTransferIsWeak)
+{
+    // §V: "Cortex-A7 GA virus is not a good stress-test for Cortex-A15
+    // and Cortex-A15 virus is not a good stress-test for Cortex-A7."
+    const auto a15 = platform::cortexA15Platform();
+    const auto a7 = platform::cortexA7Platform();
+
+    measure::SimPowerMeasurement meas15(a15->library(), a15);
+    const core::Individual virus15 =
+        runGa(a15, meas15, quickParams(50, 18, 13));
+    measure::SimPowerMeasurement meas7(a7->library(), a7);
+    const core::Individual virus7 =
+        runGa(a7, meas7, quickParams(50, 18, 14));
+
+    // The foreign virus draws less power than the native one.
+    const double native15 = virus15.fitness;
+    const double foreign15 =
+        a15->evaluate(virus7.code, a15->library()).chipPowerWatts;
+    EXPECT_GT(native15, foreign15);
+
+    const double native7 = virus7.fitness;
+    const double foreign7 =
+        a7->evaluate(virus15.code, a7->library()).chipPowerWatts;
+    EXPECT_GT(native7, foreign7);
+}
+
+TEST(Integration, TemperatureVirusTopsServerBaselines)
+{
+    const auto plat = platform::xgene2Platform();
+    measure::SimTemperatureMeasurement meas(plat->library(), plat);
+    core::GaParams params = quickParams(50, 35, 15);
+    params.populationSize = 30;
+    const core::Individual virus = runGa(plat, meas, params);
+
+    double best_baseline = 0.0;
+    for (const auto& w : workloads::serverBaselines(plat->library())) {
+        best_baseline = std::max(
+            best_baseline,
+            plat->evaluate(w.code, plat->library()).dieTempC);
+    }
+    EXPECT_GT(virus.fitness, best_baseline);
+}
+
+TEST(Integration, IpcVirusTradesPowerForIpc)
+{
+    // Table IV: the IPC virus has higher IPC but lower power and
+    // temperature than the power/temperature virus.
+    const auto plat = platform::xgene2Platform();
+
+    measure::SimTemperatureMeasurement temp_meas(plat->library(), plat);
+    const core::Individual power_virus =
+        runGa(plat, temp_meas, quickParams(50, 20, 16));
+    measure::SimIpcMeasurement ipc_meas(plat->library(), plat);
+    const core::Individual ipc_virus =
+        runGa(plat, ipc_meas, quickParams(50, 20, 16));
+
+    const auto eval_power =
+        plat->evaluate(power_virus.code, plat->library());
+    const auto eval_ipc =
+        plat->evaluate(ipc_virus.code, plat->library());
+
+    EXPECT_GT(eval_ipc.ipc, eval_power.ipc * 0.99);
+    EXPECT_GT(eval_power.dieTempC, eval_ipc.dieTempC);
+    EXPECT_GT(eval_power.chipPowerWatts, eval_ipc.chipPowerWatts);
+}
+
+TEST(Integration, DidtVirusBeatsStabilityTests)
+{
+    // §VI / Figure 8: the GA dI/dt virus out-noises Prime95 and the
+    // AMD stability test.
+    const auto plat = platform::athlonX4Platform();
+    const int loop_len = core::GaParams::didtLoopLength(
+        1.5, plat->cpu().freqGHz,
+        plat->pdnModel()->config().resonanceHz());
+    EXPECT_GE(loop_len, 15);
+    EXPECT_LE(loop_len, 50);
+
+    measure::SimVoltageNoiseMeasurement meas(plat->library(), plat);
+    const core::Individual virus =
+        runGa(plat, meas, quickParams(loop_len, 15, 17));
+
+    double best_baseline = 0.0;
+    for (const auto& w : workloads::x86Baselines(plat->library())) {
+        best_baseline = std::max(
+            best_baseline, plat->evaluate(w.code, plat->library(), true)
+                               .peakToPeakV);
+    }
+    EXPECT_GT(virus.fitness, best_baseline);
+}
+
+TEST(Integration, ComplexFitnessYieldsSimplerVirus)
+{
+    // §V.A: Equation 1 produces a virus with fewer unique instructions
+    // at a comparable temperature.
+    const auto plat = platform::xgene2Platform();
+    const auto& lib = plat->library();
+    const double idle = plat->idleTempC();
+    const double tj_max = plat->chip().tjMaxC;
+
+    measure::SimTemperatureMeasurement meas(lib, plat);
+    fitness::DefaultFitness plain;
+    fitness::TemperatureSimplicityFitness complex_fit(idle, tj_max);
+
+    core::GaParams params = quickParams(50, 20, 18);
+    core::Engine plain_engine(params, lib, meas, plain);
+    plain_engine.run();
+    measure::SimTemperatureMeasurement meas2(lib, plat);
+    core::Engine complex_engine(params, lib, meas2, complex_fit);
+    complex_engine.run();
+
+    const core::Individual& plain_best = plain_engine.bestEver();
+    const core::Individual& simple_best = complex_engine.bestEver();
+
+    EXPECT_LT(core::uniqueInstructionCount(simple_best),
+              core::uniqueInstructionCount(plain_best));
+    // Temperature within a few degrees of the plain power virus.
+    const double plain_temp =
+        plat->evaluate(plain_best.code, lib).dieTempC;
+    const double simple_temp =
+        plat->evaluate(simple_best.code, lib).dieTempC;
+    EXPECT_GT(simple_temp, idle + (plain_temp - idle) * 0.85);
+}
+
+TEST(Integration, GaImprovesOverItsOwnSeedGeneration)
+{
+    for (const char* name : {"cortex-a15", "cortex-a7"}) {
+        const auto plat = platform::Platform::byName(name);
+        measure::SimPowerMeasurement meas(plat->library(), plat);
+        fitness::DefaultFitness fit;
+        core::Engine engine(quickParams(30, 12, 19), plat->library(),
+                            meas, fit);
+        engine.run();
+        EXPECT_GT(engine.history().back().bestFitness,
+                  engine.history().front().bestFitness)
+            << name;
+    }
+}
+
+} // namespace
+} // namespace gest

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for operands, instruction definitions and the library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/simulator.hh"
+#include "isa/standard_libs.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace isa {
+namespace {
+
+OperandDef
+memResult()
+{
+    return OperandDef::makeRegisters("mem_result", {"x2", "x3", "x4"});
+}
+
+TEST(Operand, RegisterPoolValues)
+{
+    const OperandDef op = memResult();
+    EXPECT_EQ(op.kind(), OperandKind::Register);
+    EXPECT_EQ(op.valueCount(), 3u);
+    EXPECT_EQ(op.renderValue(0), "x2");
+    EXPECT_EQ(op.renderValue(2), "x4");
+    RegRef ref;
+    ASSERT_TRUE(op.parsedRegister(1, ref));
+    EXPECT_EQ(ref.index, 3);
+}
+
+TEST(Operand, ImmediateRangeMatchesPaperExample)
+{
+    // Figure 4: 0..256 stride 8 gives 33 values.
+    const OperandDef op =
+        OperandDef::makeImmediate("immediate_value", 0, 256, 8);
+    EXPECT_EQ(op.kind(), OperandKind::Immediate);
+    EXPECT_EQ(op.valueCount(), 33u);
+    EXPECT_EQ(op.immediateValue(0), 0);
+    EXPECT_EQ(op.immediateValue(1), 8);
+    EXPECT_EQ(op.immediateValue(32), 256);
+    EXPECT_EQ(op.renderValue(3), "24");
+}
+
+TEST(Operand, ImmediateSingleValue)
+{
+    const OperandDef op = OperandDef::makeImmediate("one", 5, 5, 1);
+    EXPECT_EQ(op.valueCount(), 1u);
+    EXPECT_EQ(op.immediateValue(0), 5);
+}
+
+TEST(Operand, RejectsMalformedDefinitions)
+{
+    EXPECT_THROW(OperandDef::makeRegisters("empty", {}), FatalError);
+    EXPECT_THROW(OperandDef::makeImmediate("bad", 0, 10, 0), FatalError);
+    EXPECT_THROW(OperandDef::makeImmediate("bad", 0, 10, -1), FatalError);
+    EXPECT_THROW(OperandDef::makeImmediate("bad", 10, 0, 1), FatalError);
+}
+
+InstructionLibrary
+tinyLib()
+{
+    InstructionLibrary lib;
+    lib.addOperand(memResult());
+    lib.addOperand(OperandDef::makeRegisters("mem_address_register",
+                                             {"x10"}));
+    lib.addOperand(OperandDef::makeImmediate("immediate_value", 0, 256,
+                                             8));
+    lib.addInstruction(
+        "LDR", {"mem_result", "mem_address_register", "immediate_value"},
+        "LDR op1,[op2,#op3]", InstrClass::Mem, Opcode::Load);
+    lib.addInstruction("NOP", {}, "NOP", InstrClass::Nop, Opcode::Nop);
+    return lib;
+}
+
+TEST(Library, VariantCountMatchesPaperExample)
+{
+    // "there are 99 possible ways the GA can use the LDR instruction
+    //  (3 registers x 1 address register x 33 immediate values)"
+    const InstructionLibrary lib = tinyLib();
+    EXPECT_EQ(lib.variantCount(0), 99u);
+    EXPECT_EQ(lib.variantCount(1), 1u);
+}
+
+TEST(Library, UndefinedOperandIdTerminates)
+{
+    // §III.B.1: "If the instruction definition contains an undefined
+    // operand id, the framework will terminate the execution."
+    InstructionLibrary lib;
+    EXPECT_THROW(lib.addInstruction("LDR", {"missing_operand"},
+                                    "LDR op1", InstrClass::Mem,
+                                    Opcode::Load),
+                 FatalError);
+}
+
+TEST(Library, DuplicateNamesRejected)
+{
+    InstructionLibrary lib = tinyLib();
+    EXPECT_THROW(lib.addOperand(memResult()), FatalError);
+    EXPECT_THROW(lib.addInstruction("NOP", {}, "NOP", InstrClass::Nop,
+                                    Opcode::Nop),
+                 FatalError);
+}
+
+TEST(Library, FormatMustMentionEverySlot)
+{
+    InstructionLibrary lib;
+    lib.addOperand(memResult());
+    EXPECT_THROW(lib.addInstruction("BAD", {"mem_result", "mem_result"},
+                                    "BAD op1", InstrClass::ShortInt,
+                                    Opcode::Add),
+                 FatalError);
+}
+
+TEST(Library, RenderSubstitutesOperands)
+{
+    const InstructionLibrary lib = tinyLib();
+    InstructionInstance inst;
+    inst.defIndex = 0;
+    inst.operandChoice = {1, 0, 3};
+    EXPECT_EQ(lib.render(inst), "LDR x3,[x10,#24]");
+}
+
+TEST(Library, MakeInstanceResolvesValues)
+{
+    const InstructionLibrary lib = tinyLib();
+    const InstructionInstance inst =
+        lib.makeInstance("LDR", {"x4", "x10", "16"});
+    EXPECT_EQ(lib.render(inst), "LDR x4,[x10,#16]");
+    EXPECT_THROW(lib.makeInstance("LDR", {"x9", "x10", "16"}),
+                 FatalError);
+    EXPECT_THROW(lib.makeInstance("LDR", {"x4", "x10", "7"}), FatalError);
+    EXPECT_THROW(lib.makeInstance("LDR", {"x4"}), FatalError);
+    EXPECT_THROW(lib.makeInstance("NOPE", {}), FatalError);
+}
+
+TEST(Library, RandomInstancesAreAlwaysValid)
+{
+    const InstructionLibrary lib = armLikeLibrary();
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const InstructionInstance inst = lib.randomInstance(rng);
+        EXPECT_TRUE(lib.valid(inst));
+        EXPECT_FALSE(lib.render(inst).empty());
+    }
+}
+
+TEST(Library, RandomInstancesCoverAllInstructions)
+{
+    const InstructionLibrary lib = armLikeLibrary();
+    Rng rng(6);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 3000; ++i)
+        seen.insert(lib.randomInstance(rng).defIndex);
+    EXPECT_EQ(seen.size(), lib.numInstructions());
+}
+
+TEST(Library, MutateOperandKeepsInstanceValid)
+{
+    const InstructionLibrary lib = armLikeLibrary();
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        InstructionInstance inst = lib.randomInstance(rng);
+        const std::uint32_t def = inst.defIndex;
+        lib.mutateOperand(inst, rng);
+        EXPECT_EQ(inst.defIndex, def);
+        EXPECT_TRUE(lib.valid(inst));
+    }
+}
+
+TEST(Library, MutateOperandOnOperandlessInstruction)
+{
+    const InstructionLibrary lib = tinyLib();
+    Rng rng(8);
+    InstructionInstance nop = lib.randomInstanceOf(1, rng);
+    const InstructionInstance before = nop;
+    lib.mutateOperand(nop, rng);
+    EXPECT_EQ(nop, before);
+}
+
+TEST(Library, FindByName)
+{
+    const InstructionLibrary lib = tinyLib();
+    EXPECT_EQ(lib.findInstruction("LDR"), 0);
+    EXPECT_EQ(lib.findInstruction("NOP"), 1);
+    EXPECT_EQ(lib.findInstruction("XYZ"), -1);
+    EXPECT_GE(lib.findOperand("mem_result"), 0);
+    EXPECT_EQ(lib.findOperand("zzz"), -1);
+}
+
+TEST(StandardLibs, ArmLibraryIsWellFormed)
+{
+    const InstructionLibrary lib = armLikeLibrary();
+    EXPECT_GT(lib.numInstructions(), 15u);
+    // All classes represented.
+    std::set<InstrClass> classes;
+    for (std::size_t i = 0; i < lib.numInstructions(); ++i)
+        classes.insert(lib.instruction(i).cls);
+    EXPECT_EQ(classes.size(), static_cast<std::size_t>(numInstrClasses));
+}
+
+TEST(StandardLibs, ArmV7LibraryIsWellFormed)
+{
+    const InstructionLibrary lib = armV7LikeLibrary();
+    EXPECT_GT(lib.numInstructions(), 15u);
+    // A32 spellings render correctly.
+    EXPECT_EQ(lib.render(lib.makeInstance("ADD", {"r4", "r5", "r6"})),
+              "ADD r4, r5, r6");
+    EXPECT_EQ(lib.render(lib.makeInstance("VMLAQ", {"q1", "q2", "q3"})),
+              "VMLA.F32 q1, q2, q3");
+    EXPECT_EQ(lib.render(lib.makeInstance("LDR", {"r2", "r10", "32"})),
+              "LDR r2, [r10, #32]");
+    // Every register name parses into the simulator's register model.
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        const InstructionInstance inst = lib.randomInstance(rng);
+        EXPECT_TRUE(lib.valid(inst));
+    }
+}
+
+TEST(StandardLibs, ArmV7InstancesSimulate)
+{
+    // The A32 alphabet must decode and run on the Versatile Express
+    // core models just like the A64 one.
+    const InstructionLibrary lib = armV7LikeLibrary();
+    // r4 accumulates across iterations so register values keep
+    // evolving (a constant loop reaches a toggle-free fixed point).
+    std::vector<InstructionInstance> code = {
+        lib.makeInstance("VMULQ", {"q0", "q1", "q2"}),
+        lib.makeInstance("MLA", {"r4", "r5", "r6", "r4"}),
+        lib.makeInstance("STR", {"r4", "r10", "16"}),
+        lib.makeInstance("LDR", {"r2", "r10", "16"}),
+        lib.makeInstance("BNE", {}),
+    };
+    arch::LoopSimulator sim(arch::cortexA7Config(), arch::InitState{});
+    const arch::SimResult result =
+        sim.run(arch::decodeBody(lib, code), 100, 4);
+    EXPECT_GT(result.ipc, 0.1);
+    EXPECT_GT(result.totalToggleBits, 0u);
+}
+
+TEST(StandardLibs, X86LibraryIsWellFormed)
+{
+    const InstructionLibrary lib = x86LikeLibrary();
+    EXPECT_GT(lib.numInstructions(), 10u);
+    EXPECT_GE(lib.findInstruction("MULPD"), 0);
+    EXPECT_GE(lib.findInstruction("NOP"), 0);
+}
+
+TEST(InstrClass, StringRoundTrips)
+{
+    EXPECT_EQ(instrClassFromString("mem"), InstrClass::Mem);
+    EXPECT_EQ(instrClassFromString("Float/SIMD"), InstrClass::FloatSimd);
+    EXPECT_EQ(instrClassFromString("LONGINT"), InstrClass::LongInt);
+    EXPECT_EQ(instrClassFromString("branch"), InstrClass::Branch);
+    EXPECT_THROW(instrClassFromString("bogus"), FatalError);
+    EXPECT_STREQ(toString(InstrClass::FloatSimd), "Float/SIMD");
+}
+
+TEST(InstrClass, MnemonicLookup)
+{
+    Opcode op;
+    EXPECT_TRUE(opcodeFromMnemonic("ldr", op));
+    EXPECT_EQ(op, Opcode::Load);
+    EXPECT_TRUE(opcodeFromMnemonic("VFMADD231PD", op));
+    EXPECT_EQ(op, Opcode::VFma);
+    EXPECT_TRUE(opcodeFromMnemonic("xor", op));
+    EXPECT_EQ(op, Opcode::Eor);
+    EXPECT_FALSE(opcodeFromMnemonic("frobnicate", op));
+}
+
+TEST(InstrClass, DefaultClassConsistent)
+{
+    EXPECT_EQ(defaultClass(Opcode::Add), InstrClass::ShortInt);
+    EXPECT_EQ(defaultClass(Opcode::UDiv), InstrClass::LongInt);
+    EXPECT_EQ(defaultClass(Opcode::VFma), InstrClass::FloatSimd);
+    EXPECT_EQ(defaultClass(Opcode::StorePair), InstrClass::Mem);
+    EXPECT_EQ(defaultClass(Opcode::Branch), InstrClass::Branch);
+    EXPECT_TRUE(isLoad(Opcode::LoadPair));
+    EXPECT_TRUE(isStore(Opcode::Store));
+    EXPECT_FALSE(isStore(Opcode::Load));
+    EXPECT_TRUE(isBranch(Opcode::BranchCond));
+}
+
+} // namespace
+} // namespace isa
+} // namespace gest

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the measurement layer: registry and simulated
+ * instruments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/sim_measurements.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workloads/workloads.hh"
+
+namespace gest {
+namespace measure {
+namespace {
+
+std::vector<isa::InstructionInstance>
+smallLoop(const isa::InstructionLibrary& lib)
+{
+    return {
+        lib.makeInstance("ADD", {"x4", "x5", "x6"}),
+        lib.makeInstance("FMUL", {"v0", "v1", "v2"}),
+        lib.makeInstance("LDR", {"x2", "x10", "8"}),
+        lib.makeInstance("MUL", {"x5", "x6", "x7"}),
+    };
+}
+
+TEST(Registry, SimMeasurementsRegistered)
+{
+    registerSimMeasurements();
+    registerSimMeasurements(); // idempotent
+    MeasurementRegistry& registry = MeasurementRegistry::instance();
+    EXPECT_TRUE(registry.contains("SimPowerMeasurement"));
+    EXPECT_TRUE(registry.contains("SimTemperatureMeasurement"));
+    EXPECT_TRUE(registry.contains("SimIpcMeasurement"));
+    EXPECT_TRUE(registry.contains("SimVoltageNoiseMeasurement"));
+    EXPECT_THROW(registry.create("Bogus", isa::armLikeLibrary()),
+                 FatalError);
+    EXPECT_GE(registry.names().size(), 4u);
+}
+
+TEST(SimPower, MeasuresPositivePower)
+{
+    const auto plat = platform::cortexA15Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    SimPowerMeasurement meas(lib, plat);
+    const MeasurementResult result = meas.measure(smallLoop(lib));
+    ASSERT_EQ(result.values.size(), meas.valueNames().size());
+    EXPECT_GT(result.values[0], 0.0); // chip watts
+    EXPECT_GT(result.values[1], 0.0); // core watts
+    EXPECT_GT(result.values[0], result.values[1]);
+    EXPECT_GT(result.values[2], 0.0); // ipc
+}
+
+TEST(SimPower, DeterministicAcrossCalls)
+{
+    const auto plat = platform::cortexA7Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    SimPowerMeasurement meas(lib, plat);
+    const auto a = meas.measure(smallLoop(lib));
+    const auto b = meas.measure(smallLoop(lib));
+    EXPECT_EQ(a.values, b.values);
+}
+
+TEST(SimTemperature, AboveIdleBelowMeltdown)
+{
+    const auto plat = platform::xgene2Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    SimTemperatureMeasurement meas(lib, plat);
+    const MeasurementResult result = meas.measure(smallLoop(lib));
+    EXPECT_GT(result.values[0], plat->idleTempC());
+    EXPECT_LT(result.values[0], 120.0);
+}
+
+TEST(SimIpc, FirstValueIsIpc)
+{
+    const auto plat = platform::xgene2Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    SimIpcMeasurement meas(lib, plat);
+    const MeasurementResult result = meas.measure(smallLoop(lib));
+    EXPECT_GT(result.values[0], 0.1);
+    EXPECT_LT(result.values[0], 4.5);
+    EXPECT_EQ(meas.valueNames()[0], "ipc");
+}
+
+TEST(SimVoltageNoise, RequiresPdnPlatform)
+{
+    const auto amd = platform::athlonX4Platform();
+    const isa::InstructionLibrary& lib = amd->library();
+    SimVoltageNoiseMeasurement meas(lib, amd);
+    const auto loop = std::vector<isa::InstructionInstance>{
+        lib.makeInstance("MULPD", {"xmm0", "xmm1"}),
+        lib.makeInstance("NOP", {}),
+    };
+    const MeasurementResult result = meas.measure(loop);
+    EXPECT_GT(result.values[0], 0.0);      // p2p
+    EXPECT_LT(result.values[1], 1.35);     // vMin below nominal
+    EXPECT_GT(result.values[1], 1.0);
+
+    // A platform without a PDN must refuse.
+    const auto a15 = platform::cortexA15Platform();
+    SimVoltageNoiseMeasurement bad(a15->library(), a15);
+    const auto arm_loop = std::vector<isa::InstructionInstance>{
+        a15->library().makeInstance("NOP", {})};
+    EXPECT_THROW(bad.measure(arm_loop), FatalError);
+}
+
+TEST(SimBase, PlatformFromXmlConfig)
+{
+    registerSimMeasurements();
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    auto meas = MeasurementRegistry::instance().create(
+        "SimPowerMeasurement", lib);
+    const xml::Document doc = xml::parse(
+        "<config platform=\"cortex-a7\" min_cycles=\"1024\"/>");
+    meas->init(&doc.root());
+    const MeasurementResult result = meas->measure(smallLoop(lib));
+    EXPECT_GT(result.values[0], 0.0);
+}
+
+TEST(SimBase, MissingPlatformIsFatal)
+{
+    registerSimMeasurements();
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    auto meas = MeasurementRegistry::instance().create(
+        "SimPowerMeasurement", lib);
+    EXPECT_THROW(meas->measure(smallLoop(lib)), FatalError);
+}
+
+TEST(SimBase, BadMinCyclesIsFatal)
+{
+    registerSimMeasurements();
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    auto meas = MeasurementRegistry::instance().create(
+        "SimPowerMeasurement", lib);
+    const xml::Document doc = xml::parse(
+        "<config platform=\"cortex-a7\" min_cycles=\"10\"/>");
+    EXPECT_THROW(meas->init(&doc.root()), FatalError);
+}
+
+TEST(SimBase, UnknownPlatformIsFatal)
+{
+    registerSimMeasurements();
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    auto meas = MeasurementRegistry::instance().create(
+        "SimPowerMeasurement", lib);
+    const xml::Document doc =
+        xml::parse("<config platform=\"pentium-4\"/>");
+    EXPECT_THROW(meas->init(&doc.root()), FatalError);
+}
+
+TEST(SimTemperature, TransientWindowReadsBelowEquilibrium)
+{
+    // A short sensor poll sees the ladder still heating: lower than
+    // equilibrium, above idle, and monotone in the window length.
+    const auto plat = platform::xgene2Platform();
+    const isa::InstructionLibrary& lib = plat->library();
+    const auto loop = smallLoop(lib);
+
+    SimTemperatureMeasurement equilibrium(lib, plat);
+    const double settled = equilibrium.measure(loop).values[0];
+
+    SimTemperatureMeasurement early(lib, plat);
+    early.setTransientSeconds(5.0);
+    const double after_5s = early.measure(loop).values[0];
+
+    SimTemperatureMeasurement later(lib, plat);
+    later.setTransientSeconds(60.0);
+    const double after_60s = later.measure(loop).values[0];
+
+    EXPECT_GT(after_5s, plat->idleTempC() - 1.0);
+    EXPECT_LT(after_5s, settled);
+    EXPECT_GT(after_60s, after_5s);
+    EXPECT_LE(after_60s, settled + 0.5);
+}
+
+TEST(SimTemperature, TransientConfigFromXml)
+{
+    registerSimMeasurements();
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    auto meas = MeasurementRegistry::instance().create(
+        "SimTemperatureMeasurement", lib);
+    const xml::Document doc = xml::parse(
+        "<config platform=\"xgene2\" transient_seconds=\"10\"/>");
+    meas->init(&doc.root());
+    EXPECT_GT(meas->measure(smallLoop(lib)).values[0], 20.0);
+
+    const xml::Document bad = xml::parse(
+        "<config platform=\"xgene2\" transient_seconds=\"-1\"/>");
+    auto meas2 = MeasurementRegistry::instance().create(
+        "SimTemperatureMeasurement", lib);
+    EXPECT_THROW(meas2->init(&bad.root()), FatalError);
+}
+
+TEST(Registry, DuplicateRegistrationIsFatal)
+{
+    MeasurementRegistry& registry = MeasurementRegistry::instance();
+    registerSimMeasurements();
+    EXPECT_THROW(
+        registry.registerFactory(
+            "SimPowerMeasurement",
+            [](const isa::InstructionLibrary& lib)
+                -> std::unique_ptr<Measurement> {
+                return std::make_unique<SimPowerMeasurement>(lib);
+            }),
+        FatalError);
+}
+
+} // namespace
+} // namespace measure
+} // namespace gest

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for native code emission and the host runner. Execution tests
+ * skip gracefully on hosts without a toolchain or perf access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/standard_libs.hh"
+#include "native/asm_emit.hh"
+#include "native/native_measurement.hh"
+#include "native/perf_events.hh"
+#include "native/runner.hh"
+#include "util/random.hh"
+
+namespace gest {
+namespace native {
+namespace {
+
+std::vector<isa::InstructionInstance>
+x86Loop(const isa::InstructionLibrary& lib)
+{
+    return {
+        lib.makeInstance("ADD", {"rax", "rcx"}),
+        lib.makeInstance("XOR", {"rdx", "rbx"}),
+        lib.makeInstance("MULPD", {"xmm0", "xmm1"}),
+        lib.makeInstance("LOAD", {"r9", "r10", "16"}),
+        lib.makeInstance("STORE", {"rsi", "r10", "64"}),
+        lib.makeInstance("NOP", {}),
+    };
+}
+
+TEST(AsmEmit, X86ProgramHasRequiredStructure)
+{
+    const isa::InstructionLibrary lib = isa::x86LikeLibrary();
+    EmitOptions options;
+    options.iterations = 1234;
+    const std::string program =
+        emitX86Program(lib, x86Loop(lib), options);
+
+    EXPECT_NE(program.find(".intel_syntax noprefix"), std::string::npos);
+    EXPECT_NE(program.find("_start:"), std::string::npos);
+    EXPECT_NE(program.find("gest_loop:"), std::string::npos);
+    EXPECT_NE(program.find("mov r12, 1234"), std::string::npos);
+    EXPECT_NE(program.find("add rax, rcx"), std::string::npos);
+    EXPECT_NE(program.find("mulpd xmm0, xmm1"), std::string::npos);
+    EXPECT_NE(program.find("mov r9, [r10 + 16]"), std::string::npos);
+    EXPECT_NE(program.find("gest_buffer"), std::string::npos);
+    // Checkerboard init (§III.B.2).
+    EXPECT_NE(program.find("0xaaaaaaaaaaaaaaaa"), std::string::npos);
+    // Clean exit without libc.
+    EXPECT_NE(program.find("syscall"), std::string::npos);
+}
+
+TEST(AsmEmit, A64ProgramHasRequiredStructure)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const std::vector<isa::InstructionInstance> code = {
+        lib.makeInstance("FMLA", {"v0", "v1", "v2"}),
+        lib.makeInstance("LDR", {"x2", "x10", "8"}),
+    };
+    const std::string program = emitA64Program(lib, code);
+    EXPECT_NE(program.find("_start:"), std::string::npos);
+    EXPECT_NE(program.find("gest_loop:"), std::string::npos);
+    EXPECT_NE(program.find("FMLA v0.2D, v1.2D, v2.2D"),
+              std::string::npos);
+    EXPECT_NE(program.find("adrp x10, gest_buffer"), std::string::npos);
+    EXPECT_NE(program.find("svc #0"), std::string::npos);
+}
+
+TEST(AsmEmit, BufferSizeAndPatternConfigurable)
+{
+    const isa::InstructionLibrary lib = isa::x86LikeLibrary();
+    EmitOptions options;
+    options.bufferBytes = 8192;
+    options.pattern = 0x5555555555555555ULL;
+    const std::string program =
+        emitX86Program(lib, x86Loop(lib), options);
+    EXPECT_NE(program.find(".zero 8192"), std::string::npos);
+    EXPECT_NE(program.find("0x5555555555555555"), std::string::npos);
+}
+
+TEST(Runner, AssembleAndRunGeneratedProgram)
+{
+    if (!NativeRunner::toolchainAvailable())
+        GTEST_SKIP() << "no host toolchain";
+#if !defined(__x86_64__)
+    GTEST_SKIP() << "not an x86-64 host";
+#else
+    const isa::InstructionLibrary lib = isa::x86LikeLibrary();
+    EmitOptions options;
+    options.iterations = 100'000;
+    NativeRunner runner;
+    const RunOutcome outcome = runner.assembleAndRun(
+        emitX86Program(lib, x86Loop(lib), options));
+    EXPECT_EQ(outcome.exitStatus, 0);
+    EXPECT_GT(outcome.wallSeconds, 0.0);
+    if (outcome.instructions) {
+        // 6-instruction body + dec/jnz, 100k iterations.
+        EXPECT_GT(*outcome.instructions, 6.0 * 100'000);
+        EXPECT_GT(outcome.ipc().value_or(0.0), 0.1);
+    }
+#endif
+}
+
+TEST(Runner, RandomIndividualsAllAssemble)
+{
+    if (!NativeRunner::toolchainAvailable())
+        GTEST_SKIP() << "no host toolchain";
+#if !defined(__x86_64__)
+    GTEST_SKIP() << "not an x86-64 host";
+#else
+    // Property: every instance the GA can generate from the bundled x86
+    // library is valid assembler input.
+    const isa::InstructionLibrary lib = isa::x86LikeLibrary();
+    Rng rng(99);
+    NativeRunner runner;
+    for (int trial = 0; trial < 3; ++trial) {
+        std::vector<isa::InstructionInstance> code;
+        for (int i = 0; i < 30; ++i)
+            code.push_back(lib.randomInstance(rng));
+        EmitOptions options;
+        options.iterations = 1000;
+        const RunOutcome outcome =
+            runner.assembleAndRun(emitX86Program(lib, code, options));
+        EXPECT_EQ(outcome.exitStatus, 0);
+    }
+#endif
+}
+
+TEST(Perf, AvailabilityProbeDoesNotCrash)
+{
+    // Whatever the sandbox allows, the probes must return cleanly.
+    const bool perf = PerfCounters::available();
+    const bool rapl = RaplReader::available();
+    (void)perf;
+    (void)rapl;
+    SUCCEED();
+}
+
+TEST(NativeMeasurement, RegistersInRegistry)
+{
+    registerNativeMeasurements();
+    registerNativeMeasurements();
+    EXPECT_TRUE(measure::MeasurementRegistry::instance().contains(
+        "NativePerfMeasurement"));
+}
+
+TEST(NativeMeasurement, MeasuresIpcWhenHostAllows)
+{
+    if (!NativePerfMeasurement::available())
+        GTEST_SKIP() << "perf counters or toolchain unavailable";
+#if !defined(__x86_64__)
+    GTEST_SKIP() << "not an x86-64 host";
+#else
+    const isa::InstructionLibrary lib = isa::x86LikeLibrary();
+    NativePerfMeasurement meas(lib);
+    const xml::Document doc =
+        xml::parse("<config iterations=\"200000\"/>");
+    meas.init(&doc.root());
+    const measure::MeasurementResult result =
+        meas.measure(x86Loop(lib));
+    EXPECT_GT(result.values[0], 0.1); // real IPC
+    EXPECT_LT(result.values[0], 8.0);
+#endif
+}
+
+} // namespace
+} // namespace native
+} // namespace gest

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the measurement-noise decorator (§IV single-core
+ * measurement rationale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hh"
+#include "isa/standard_libs.hh"
+#include "measure/noisy_measurement.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace measure {
+namespace {
+
+/** Constant-valued inner measurement for precise noise checks. */
+class ConstantMeasurement : public Measurement
+{
+  public:
+    explicit ConstantMeasurement(double value) : _value(value) {}
+
+    MeasurementResult
+    measure(const std::vector<isa::InstructionInstance>&) override
+    {
+        ++calls;
+        return {{_value, _value * 2.0}};
+    }
+
+    std::vector<std::string>
+    valueNames() const override
+    {
+        return {"a", "b"};
+    }
+
+    std::string name() const override { return "Constant"; }
+
+    int calls = 0;
+
+  private:
+    double _value;
+};
+
+TEST(Noise, ZeroSigmaIsTransparent)
+{
+    NoisyMeasurement noisy(std::make_unique<ConstantMeasurement>(5.0),
+                           0.0);
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const auto result = noisy.measure({});
+    EXPECT_DOUBLE_EQ(result.values[0], 5.0);
+    EXPECT_DOUBLE_EQ(result.values[1], 10.0);
+    EXPECT_EQ(noisy.valueNames(),
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(noisy.name(), "Noisy(Constant)");
+}
+
+TEST(Noise, SampleStatisticsMatchSigma)
+{
+    NoisyMeasurement noisy(std::make_unique<ConstantMeasurement>(1.0),
+                           0.1, 99);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const double v = noisy.measure({}).values[0];
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.01);
+    EXPECT_NEAR(std::sqrt(var), 0.1, 0.015);
+}
+
+TEST(Noise, DeterministicPerSeed)
+{
+    NoisyMeasurement a(std::make_unique<ConstantMeasurement>(3.0), 0.05,
+                       7);
+    NoisyMeasurement b(std::make_unique<ConstantMeasurement>(3.0), 0.05,
+                       7);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(a.measure({}).values[0],
+                         b.measure({}).values[0]);
+}
+
+TEST(Noise, InitParsesConfiguration)
+{
+    NoisyMeasurement noisy(std::make_unique<ConstantMeasurement>(2.0),
+                           0.0);
+    const xml::Document doc =
+        xml::parse("<config relative_sigma=\"0.5\" seed=\"3\"/>");
+    noisy.init(&doc.root());
+    EXPECT_DOUBLE_EQ(noisy.relativeSigma(), 0.5);
+    // With sigma 0.5 the values scatter visibly.
+    double min_v = 1e30;
+    double max_v = -1e30;
+    for (int i = 0; i < 50; ++i) {
+        const double v = noisy.measure({}).values[0];
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+    }
+    EXPECT_GT(max_v - min_v, 0.5);
+}
+
+TEST(Noise, RejectsBadConfiguration)
+{
+    EXPECT_THROW(NoisyMeasurement(nullptr, 0.1), FatalError);
+    EXPECT_THROW(
+        NoisyMeasurement(std::make_unique<ConstantMeasurement>(1.0),
+                         -0.1),
+        FatalError);
+    NoisyMeasurement noisy(std::make_unique<ConstantMeasurement>(1.0),
+                           0.1);
+    const xml::Document doc =
+        xml::parse("<config relative_sigma=\"-2\"/>");
+    EXPECT_THROW(noisy.init(&doc.root()), FatalError);
+}
+
+TEST(Noise, HeavyNoiseDegradesGaOutcome)
+{
+    // The §IV claim, as a property: for the same budget, the winner
+    // found under heavy measurement noise is (re-measured cleanly) no
+    // better than the winner found noiselessly.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+
+    // Synthetic "power": count of Float/SIMD genes, deterministic.
+    class FpCount : public Measurement
+    {
+      public:
+        explicit FpCount(const isa::InstructionLibrary& lib) : _lib(lib)
+        {}
+        MeasurementResult
+        measure(const std::vector<isa::InstructionInstance>& code)
+            override
+        {
+            double count = 0;
+            for (const auto& inst : code)
+                if (_lib.instruction(inst.defIndex).cls ==
+                    isa::InstrClass::FloatSimd)
+                    count += 1.0;
+            return {{count}};
+        }
+        std::vector<std::string>
+        valueNames() const override
+        {
+            return {"fp"};
+        }
+        std::string name() const override { return "FpCount"; }
+
+      private:
+        const isa::InstructionLibrary& _lib;
+    };
+
+    core::GaParams params;
+    params.populationSize = 20;
+    params.individualSize = 20;
+    params.mutationRate = 0.05;
+    params.generations = 15;
+    params.seed = 5;
+
+    fitness::DefaultFitness fit;
+    FpCount truth(lib);
+
+    FpCount clean_inner(lib);
+    core::Engine clean(params, lib, clean_inner, fit);
+    clean.run();
+    const double clean_score =
+        truth.measure(clean.bestEver().code).values[0];
+
+    NoisyMeasurement noisy_inner(std::make_unique<FpCount>(lib), 0.6,
+                                 11);
+    core::Engine noisy(params, lib, noisy_inner, fit);
+    noisy.run();
+    const double noisy_score =
+        truth.measure(noisy.bestEver().code).values[0];
+
+    EXPECT_GE(clean_score, noisy_score);
+}
+
+} // namespace
+} // namespace measure
+} // namespace gest

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the platform presets and end-to-end evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace platform {
+namespace {
+
+std::vector<isa::InstructionInstance>
+armLoop(const isa::InstructionLibrary& lib)
+{
+    return {
+        lib.makeInstance("FMUL", {"v0", "v1", "v2"}),
+        lib.makeInstance("FMLA", {"v3", "v4", "v5"}),
+        lib.makeInstance("LDR", {"x2", "x10", "16"}),
+        lib.makeInstance("ADD", {"x4", "x5", "x6"}),
+        lib.makeInstance("MUL", {"x5", "x6", "x7"}),
+        lib.makeInstance("STR", {"x8", "x10", "96"}),
+    };
+}
+
+TEST(Platform, PresetLookupByName)
+{
+    for (const std::string& name : Platform::presetNames()) {
+        const auto plat = Platform::byName(name);
+        ASSERT_NE(plat, nullptr);
+        EXPECT_EQ(plat->name(), name);
+    }
+    EXPECT_THROW(Platform::byName("cray-1"), FatalError);
+}
+
+TEST(Platform, TableTwoShapes)
+{
+    // Table II: core counts and instrumentation per machine.
+    EXPECT_EQ(cortexA15Platform()->chip().numCores, 2);
+    EXPECT_EQ(cortexA7Platform()->chip().numCores, 3);
+    EXPECT_EQ(xgene2Platform()->chip().numCores, 8);
+    EXPECT_EQ(athlonX4Platform()->chip().numCores, 4);
+
+    // Only the Athlon system has voltage-sense instrumentation.
+    EXPECT_EQ(cortexA15Platform()->pdnModel(), nullptr);
+    EXPECT_EQ(cortexA7Platform()->pdnModel(), nullptr);
+    EXPECT_EQ(xgene2Platform()->pdnModel(), nullptr);
+    EXPECT_NE(athlonX4Platform()->pdnModel(), nullptr);
+}
+
+TEST(Platform, EvaluationProducesConsistentMetrics)
+{
+    const auto plat = cortexA15Platform();
+    const Evaluation eval = plat->evaluate(armLoop(plat->library()));
+    EXPECT_GT(eval.ipc, 0.2);
+    EXPECT_GT(eval.corePowerWatts, 0.0);
+    EXPECT_GT(eval.chipPowerWatts,
+              eval.corePowerWatts * plat->chip().numCores);
+    EXPECT_GT(eval.dieTempC, plat->idleTempC());
+    EXPECT_FALSE(eval.hasVoltage);
+    EXPECT_GT(eval.sim.cycles, 0u);
+}
+
+TEST(Platform, IdleTempAboveAmbient)
+{
+    for (const std::string& name : Platform::presetNames()) {
+        const auto plat = Platform::byName(name);
+        EXPECT_GT(plat->idleTempC(),
+                  plat->thermalModel().config().ambientC)
+            << name;
+        EXPECT_LT(plat->idleTempC(), 70.0) << name;
+    }
+}
+
+TEST(Platform, ChipTempMonotoneInPower)
+{
+    const auto plat = xgene2Platform();
+    double last = 0.0;
+    for (double watts : {0.5, 1.0, 2.0, 4.0}) {
+        const double temp = plat->chipTempC(watts);
+        EXPECT_GT(temp, last);
+        last = temp;
+    }
+}
+
+TEST(Platform, ChipCurrentScalesWithCores)
+{
+    const auto plat = athlonX4Platform();
+    power::PowerTrace trace;
+    trace.vdd = 1.35;
+    trace.watts = {13.5, 27.0};
+    const std::vector<double> amps = plat->chipCurrent(trace);
+    ASSERT_EQ(amps.size(), 2u);
+    const double uncore =
+        plat->chip().uncoreActiveWatts / 1.35;
+    EXPECT_NEAR(amps[0], 10.0 * 4 + uncore, 1e-9);
+    EXPECT_NEAR(amps[1], 20.0 * 4 + uncore, 1e-9);
+}
+
+TEST(Platform, VoltageMetricsOnlyWhenRequested)
+{
+    const auto amd = athlonX4Platform();
+    const auto& lib = amd->library();
+    const std::vector<isa::InstructionInstance> loop = {
+        lib.makeInstance("MULPD", {"xmm0", "xmm1"}),
+        lib.makeInstance("ADD", {"rax", "rcx"}),
+    };
+    const Evaluation without = amd->evaluate(loop, lib, false);
+    EXPECT_FALSE(without.hasVoltage);
+    const Evaluation with = amd->evaluate(loop, lib, true);
+    EXPECT_TRUE(with.hasVoltage);
+    EXPECT_GT(with.peakToPeakV, 0.0);
+    EXPECT_LT(with.vMin, amd->chip().vdd);
+    EXPECT_GT(with.vMax, with.vMin);
+}
+
+TEST(Platform, VoltageRequestWithoutPdnIsFatal)
+{
+    const auto a15 = cortexA15Platform();
+    EXPECT_THROW(a15->evaluate(armLoop(a15->library()),
+                               a15->library(), true),
+                 FatalError);
+}
+
+TEST(Platform, EmptyCodeIsFatal)
+{
+    const auto plat = cortexA15Platform();
+    EXPECT_THROW(plat->evaluate({}, plat->library()), FatalError);
+}
+
+TEST(Platform, BigCoreBurnsMoreThanLittleCore)
+{
+    const auto a15 = cortexA15Platform();
+    const auto a7 = cortexA7Platform();
+    const Evaluation big = a15->evaluate(armLoop(a15->library()));
+    const Evaluation little = a7->evaluate(armLoop(a7->library()));
+    EXPECT_GT(big.corePowerWatts, little.corePowerWatts * 2.0);
+}
+
+TEST(Platform, InitStateOverrideAffectsToggles)
+{
+    // Checkerboard vs zeroed registers: the §III.B.2 observation.
+    const auto base = cortexA15Platform();
+    Platform zeroed("a15-zero", base->cpu(), base->energy(),
+                    base->thermalModel().config(), base->chip(),
+                    isa::armLikeLibrary());
+    arch::InitState init;
+    init.intPattern = 0;
+    init.vecPattern = 0;
+    init.memPattern = 0;
+    zeroed.setInitState(init);
+
+    const Evaluation checker = base->evaluate(armLoop(base->library()));
+    const Evaluation flat = zeroed.evaluate(armLoop(zeroed.library()));
+    EXPECT_GT(checker.sim.totalToggleBits, flat.sim.totalToggleBits);
+    EXPECT_GT(checker.corePowerWatts, flat.corePowerWatts);
+}
+
+TEST(Platform, PhaseAlignedCurrentReducesToChipCurrent)
+{
+    const auto plat = athlonX4Platform();
+    power::PowerTrace trace;
+    trace.vdd = 1.35;
+    trace.watts = {10.0, 20.0, 30.0, 20.0};
+    const std::vector<std::size_t> aligned(4, 0);
+    const std::vector<double> a = plat->chipCurrent(trace);
+    const std::vector<double> b =
+        plat->chipCurrentWithPhases(trace, aligned);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Platform, StaggeredPhasesFlattenTheCurrent)
+{
+    const auto plat = athlonX4Platform();
+    power::PowerTrace trace;
+    trace.vdd = 1.35;
+    // A square wave of period 4.
+    trace.watts.resize(64);
+    for (std::size_t i = 0; i < trace.watts.size(); ++i)
+        trace.watts[i] = i % 4 < 2 ? 30.0 : 10.0;
+
+    auto swing = [](const std::vector<double>& amps) {
+        double lo = amps[0];
+        double hi = amps[0];
+        for (double a : amps) {
+            lo = std::min(lo, a);
+            hi = std::max(hi, a);
+        }
+        return hi - lo;
+    };
+    const double aligned = swing(
+        plat->chipCurrentWithPhases(trace, {0, 0, 0, 0}));
+    // Offsets of half a period in two of the cores cancel the swing.
+    const double staggered = swing(
+        plat->chipCurrentWithPhases(trace, {0, 2, 0, 2}));
+    EXPECT_GT(aligned, staggered * 2.0);
+    EXPECT_NEAR(staggered, 0.0, 1e-9);
+}
+
+TEST(Platform, PhaseOffsetCountMustMatchCores)
+{
+    const auto plat = athlonX4Platform();
+    power::PowerTrace trace;
+    trace.vdd = 1.35;
+    trace.watts = {10.0};
+    EXPECT_THROW(plat->chipCurrentWithPhases(trace, {0, 0}),
+                 FatalError);
+}
+
+TEST(Platform, RejectsZeroCores)
+{
+    const auto base = cortexA15Platform();
+    ChipConfig chip = base->chip();
+    chip.numCores = 0;
+    EXPECT_THROW(Platform("bad", base->cpu(), base->energy(),
+                          base->thermalModel().config(), chip,
+                          isa::armLikeLibrary()),
+                 FatalError);
+}
+
+} // namespace
+} // namespace platform
+} // namespace gest

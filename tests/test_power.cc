@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the energy/power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/simulator.hh"
+#include "isa/standard_libs.hh"
+#include "power/power_model.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace power {
+namespace {
+
+using isa::InstrClass;
+
+EnergyModel
+flatModel()
+{
+    EnergyModel em;
+    em.name = "flat";
+    for (int cls = 0; cls < isa::numInstrClasses; ++cls)
+        em.epiClassNj[static_cast<std::size_t>(cls)] = 0.1;
+    em.clockPerCycleNj = 0.2;
+    em.vddNominal = 1.0;
+    em.leakageRefWatts = 0.5;
+    em.leakageRefTempC = 50.0;
+    em.leakageTempCoeff = 0.01;
+    return em;
+}
+
+arch::SimResult
+simulateSmallLoop()
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    std::vector<isa::InstructionInstance> code;
+    code.push_back(lib.makeInstance("ADD", {"x4", "x5", "x6"}));
+    code.push_back(lib.makeInstance("FMUL", {"v0", "v1", "v2"}));
+    code.push_back(lib.makeInstance("LDR", {"x2", "x10", "16"}));
+    arch::LoopSimulator sim(arch::cortexA15Config(), arch::InitState{});
+    return sim.run(arch::decodeBody(lib, code), 100, 4);
+}
+
+TEST(EnergyModel, LeakageGrowsWithTemperature)
+{
+    const EnergyModel em = flatModel();
+    const double cold = em.leakageWatts(30.0, 1.0);
+    const double ref = em.leakageWatts(50.0, 1.0);
+    const double hot = em.leakageWatts(90.0, 1.0);
+    EXPECT_LT(cold, ref);
+    EXPECT_LT(ref, hot);
+    EXPECT_DOUBLE_EQ(ref, 0.5);
+}
+
+TEST(EnergyModel, LeakageScalesQuadraticallyWithVoltage)
+{
+    const EnergyModel em = flatModel();
+    const double v1 = em.leakageWatts(50.0, 1.0);
+    const double v2 = em.leakageWatts(50.0, 2.0);
+    EXPECT_NEAR(v2 / v1, 4.0, 1e-9);
+}
+
+TEST(EnergyModel, LeakageNeverGoesNegative)
+{
+    EnergyModel em = flatModel();
+    em.leakageTempCoeff = 0.1;
+    EXPECT_GT(em.leakageWatts(-100.0, 1.0), 0.0);
+}
+
+TEST(EnergyModel, DynamicScaleQuadratic)
+{
+    const EnergyModel em = flatModel();
+    EXPECT_DOUBLE_EQ(em.dynamicScale(1.0), 1.0);
+    EXPECT_NEAR(em.dynamicScale(1.1), 1.21, 1e-9);
+}
+
+TEST(EnergyModel, EpiAccessors)
+{
+    EnergyModel em = flatModel();
+    em.setEpi(InstrClass::Mem, 0.7);
+    EXPECT_DOUBLE_EQ(em.epi(InstrClass::Mem), 0.7);
+    EXPECT_DOUBLE_EQ(em.epi(InstrClass::ShortInt), 0.1);
+}
+
+TEST(PowerModel, RejectsNonPositiveFrequency)
+{
+    EXPECT_THROW(PowerModel(flatModel(), 0.0), FatalError);
+    EXPECT_THROW(PowerModel(flatModel(), -1.0), FatalError);
+}
+
+TEST(PowerModel, TraceAndAverageAgree)
+{
+    const arch::SimResult sim = simulateSmallLoop();
+    const PowerModel model(flatModel(), 1.5);
+    const PowerTrace trace = model.trace(sim, 1.0, 50.0);
+    const double avg_fast = model.averageWatts(sim, 1.0, 50.0);
+
+    ASSERT_EQ(trace.watts.size(), sim.trace.size());
+    double sum = 0.0;
+    for (double w : trace.watts)
+        sum += w;
+    const double avg_trace = sum / static_cast<double>(trace.watts.size());
+    EXPECT_NEAR(avg_trace, trace.avgWatts, 1e-9);
+    // The fast path charges fetch per instruction rather than per
+    // recorded fetch event; they must agree within a couple percent.
+    EXPECT_NEAR(avg_fast, avg_trace, avg_trace * 0.02);
+}
+
+TEST(PowerModel, PeakAndMinBracketAverage)
+{
+    const arch::SimResult sim = simulateSmallLoop();
+    const PowerModel model(flatModel(), 1.0);
+    const PowerTrace trace = model.trace(sim, 1.0, 50.0);
+    EXPECT_LE(trace.minWatts, trace.avgWatts);
+    EXPECT_LE(trace.avgWatts, trace.peakWatts);
+    EXPECT_GT(trace.minWatts, 0.0);
+}
+
+TEST(PowerModel, MoreActivityMeansMorePower)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    std::vector<isa::InstructionInstance> busy;
+    std::vector<isa::InstructionInstance> idle;
+    for (int i = 0; i < 8; ++i) {
+        busy.push_back(lib.makeInstance(
+            "FMUL", {"v" + std::to_string(i % 8),
+                     "v" + std::to_string((i + 2) % 8),
+                     "v" + std::to_string((i + 5) % 8)}));
+        idle.push_back(lib.makeInstance("NOP", {}));
+    }
+    arch::LoopSimulator sim(arch::cortexA15Config(), arch::InitState{});
+    const PowerModel model(cortexA15Energy(), 1.2);
+    const double p_busy = model.averageWatts(
+        sim.run(arch::decodeBody(lib, busy), 100, 4), 1.05, 55.0);
+    const double p_idle = model.averageWatts(
+        sim.run(arch::decodeBody(lib, idle), 100, 4), 1.05, 55.0);
+    EXPECT_GT(p_busy, p_idle * 1.5);
+}
+
+TEST(PowerModel, VoltageScalingRaisesDynamicPower)
+{
+    const arch::SimResult sim = simulateSmallLoop();
+    const PowerModel model(flatModel(), 1.0);
+    const double low = model.averageWatts(sim, 0.9, 50.0);
+    const double high = model.averageWatts(sim, 1.1, 50.0);
+    EXPECT_GT(high, low);
+}
+
+TEST(PowerTrace, CurrentIsPowerOverVoltage)
+{
+    const arch::SimResult sim = simulateSmallLoop();
+    const PowerModel model(flatModel(), 1.0);
+    const PowerTrace trace = model.trace(sim, 1.25, 50.0);
+    const std::vector<double> amps = trace.currentAmps();
+    ASSERT_EQ(amps.size(), trace.watts.size());
+    for (std::size_t i = 0; i < amps.size(); ++i)
+        EXPECT_NEAR(amps[i], trace.watts[i] / 1.25, 1e-12);
+}
+
+TEST(PowerModel, EmptyTraceFallsBackToLeakage)
+{
+    const PowerModel model(flatModel(), 1.0);
+    arch::SimResult empty;
+    const PowerTrace trace = model.trace(empty, 1.0, 50.0);
+    EXPECT_TRUE(trace.watts.empty());
+    EXPECT_DOUBLE_EQ(trace.avgWatts, 0.5);
+}
+
+TEST(EnergyPresets, AllPlatformsHavePlausibleModels)
+{
+    for (const EnergyModel& em :
+         {cortexA15Energy(), cortexA7Energy(), xgene2Energy(),
+          athlonX4Energy()}) {
+        EXPECT_FALSE(em.name.empty());
+        EXPECT_GT(em.epi(InstrClass::FloatSimd), em.epi(InstrClass::Nop));
+        EXPECT_GT(em.leakageRefWatts, 0.0);
+        EXPECT_GT(em.vddNominal, 0.5);
+        EXPECT_LT(em.vddNominal, 1.6);
+    }
+}
+
+TEST(EnergyPresets, LittleCoreCheaperThanBigCore)
+{
+    // Branch is the deliberate exception: on the little core the
+    // fetch/predict path is a large share of total power, which is what
+    // makes the paper's branch-rich A7 virus profitable.
+    const EnergyModel big = cortexA15Energy();
+    const EnergyModel little = cortexA7Energy();
+    for (isa::InstrClass cls :
+         {isa::InstrClass::ShortInt, isa::InstrClass::LongInt,
+          isa::InstrClass::FloatSimd, isa::InstrClass::Mem,
+          isa::InstrClass::Nop})
+        EXPECT_LT(little.epi(cls), big.epi(cls));
+    EXPECT_GT(little.epi(isa::InstrClass::Branch),
+              big.epi(isa::InstrClass::Branch));
+}
+
+} // namespace
+} // namespace power
+} // namespace gest

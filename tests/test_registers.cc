@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for register-name parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+
+namespace gest {
+namespace isa {
+namespace {
+
+struct RegCase
+{
+    const char* name;
+    bool ok;
+    RegClass cls;
+    int index;
+};
+
+class ParseRegisterTest : public ::testing::TestWithParam<RegCase>
+{};
+
+TEST_P(ParseRegisterTest, ParsesAsExpected)
+{
+    const RegCase& c = GetParam();
+    RegRef ref;
+    const bool ok = parseRegister(c.name, ref);
+    EXPECT_EQ(ok, c.ok) << c.name;
+    if (c.ok && ok) {
+        EXPECT_EQ(ref.cls, c.cls) << c.name;
+        EXPECT_EQ(ref.index, c.index) << c.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arm64, ParseRegisterTest,
+    ::testing::Values(RegCase{"x0", true, RegClass::Int, 0},
+                      RegCase{"x30", true, RegClass::Int, 30},
+                      RegCase{"X7", true, RegClass::Int, 7},
+                      RegCase{"w12", true, RegClass::Int, 12},
+                      RegCase{"sp", true, RegClass::Int, 31},
+                      RegCase{"v0", true, RegClass::Vec, 0},
+                      RegCase{"v31", true, RegClass::Vec, 31},
+                      RegCase{"q5", true, RegClass::Vec, 5},
+                      RegCase{"d9", true, RegClass::Vec, 9},
+                      RegCase{"s2", true, RegClass::Vec, 2}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Arm32, ParseRegisterTest,
+    ::testing::Values(RegCase{"r0", true, RegClass::Int, 0},
+                      RegCase{"r15", true, RegClass::Int, 15},
+                      RegCase{"R4", true, RegClass::Int, 4}));
+
+INSTANTIATE_TEST_SUITE_P(
+    X86, ParseRegisterTest,
+    ::testing::Values(RegCase{"rax", true, RegClass::Int, 0},
+                      RegCase{"rcx", true, RegClass::Int, 1},
+                      RegCase{"rdx", true, RegClass::Int, 2},
+                      RegCase{"rbx", true, RegClass::Int, 3},
+                      RegCase{"rsi", true, RegClass::Int, 6},
+                      RegCase{"rdi", true, RegClass::Int, 7},
+                      RegCase{"r8", true, RegClass::Int, 8},
+                      RegCase{"r15", true, RegClass::Int, 15},
+                      RegCase{"xmm0", true, RegClass::Vec, 0},
+                      RegCase{"xmm15", true, RegClass::Vec, 15},
+                      RegCase{"ymm3", true, RegClass::Vec, 3},
+                      RegCase{"zmm7", true, RegClass::Vec, 7},
+                      RegCase{"eax", true, RegClass::Int, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Rejects, ParseRegisterTest,
+    ::testing::Values(RegCase{"", false, RegClass::Int, 0},
+                      RegCase{"x", false, RegClass::Int, 0},
+                      RegCase{"x32", false, RegClass::Int, 0},
+                      RegCase{"v32", false, RegClass::Int, 0},
+                      RegCase{"hello", false, RegClass::Int, 0},
+                      RegCase{"x123", false, RegClass::Int, 0},
+                      RegCase{"42", false, RegClass::Int, 0},
+                      RegCase{"#16", false, RegClass::Int, 0}));
+
+TEST(Registers, WhitespaceAndCaseInsensitive)
+{
+    RegRef ref;
+    EXPECT_TRUE(parseRegister("  V3  ", ref));
+    EXPECT_EQ(ref.cls, RegClass::Vec);
+    EXPECT_EQ(ref.index, 3);
+}
+
+} // namespace
+} // namespace isa
+} // namespace gest

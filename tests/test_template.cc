@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the template source-file handling (§III.B.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/asm_template.hh"
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace isa {
+namespace {
+
+TEST(AsmTemplate, SubstitutesLoopCode)
+{
+    const AsmTemplate tmpl("prologue\nloop:\n#loop_code\nb loop\n");
+    const std::string out = tmpl.render({"ADD x1, x2, x3", "NOP"});
+    EXPECT_EQ(out, "prologue\nloop:\nADD x1, x2, x3\nNOP\nb loop\n");
+}
+
+TEST(AsmTemplate, PreservesMarkerIndentation)
+{
+    const AsmTemplate tmpl("loop:\n    #loop_code\n    b loop\n");
+    const std::string out = tmpl.render({"NOP"});
+    EXPECT_EQ(out, "loop:\n    NOP\n    b loop\n");
+}
+
+TEST(AsmTemplate, EmptyBodyRendersTemplateOnly)
+{
+    const AsmTemplate tmpl("a\n#loop_code\nb");
+    EXPECT_EQ(tmpl.render({}), "a\nb");
+}
+
+TEST(AsmTemplate, FixedCodeAroundMarkerSurvives)
+{
+    // §III.B.2: the user can keep fixed loop code (e.g. NOP padding)
+    // around the marker.
+    const AsmTemplate tmpl("loop:\nNOP\n#loop_code\nNOP\nb loop\n");
+    const std::string out = tmpl.render({"MUL x4, x5, x6"});
+    EXPECT_EQ(out, "loop:\nNOP\nMUL x4, x5, x6\nNOP\nb loop\n");
+}
+
+TEST(AsmTemplate, MissingMarkerIsFatal)
+{
+    EXPECT_THROW(AsmTemplate("no marker here\n"), FatalError);
+}
+
+TEST(AsmTemplate, DuplicateMarkerIsFatal)
+{
+    EXPECT_THROW(AsmTemplate("#loop_code\n#loop_code\n"), FatalError);
+}
+
+TEST(AsmTemplate, FromFile)
+{
+    const std::string dir = makeTempDir("gest-tmpl");
+    writeFile(dir + "/t.s", "init\n#loop_code\nend\n");
+    const AsmTemplate tmpl = AsmTemplate::fromFile(dir + "/t.s");
+    EXPECT_EQ(tmpl.render({"X"}), "init\nX\nend\n");
+    EXPECT_EQ(tmpl.text(), "init\n#loop_code\nend\n");
+    removeAll(dir);
+}
+
+TEST(AsmTemplate, MarkerOnFirstAndLastLine)
+{
+    EXPECT_EQ(AsmTemplate("#loop_code\ntail").render({"A"}), "A\ntail");
+    EXPECT_EQ(AsmTemplate("head\n#loop_code").render({"A"}), "head\nA\n");
+}
+
+} // namespace
+} // namespace isa
+} // namespace gest

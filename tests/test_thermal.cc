@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the RC thermal network.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "thermal/thermal_model.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace thermal {
+namespace {
+
+ThermalConfig
+twoNode()
+{
+    ThermalConfig cfg;
+    cfg.name = "test";
+    cfg.capacitance = {2.0, 20.0};
+    cfg.conductance = {4.0, 1.0};
+    cfg.ambientC = 25.0;
+    return cfg;
+}
+
+TEST(ThermalConfig, TotalResistanceIsSumOfStageResistances)
+{
+    EXPECT_DOUBLE_EQ(twoNode().totalResistance(), 0.25 + 1.0);
+}
+
+TEST(ThermalModel, SteadyStateFollowsOhmsLaw)
+{
+    const ThermalModel model(twoNode());
+    EXPECT_DOUBLE_EQ(model.steadyStateDieTemp(0.0), 25.0);
+    EXPECT_DOUBLE_EQ(model.steadyStateDieTemp(4.0), 25.0 + 4.0 * 1.25);
+}
+
+TEST(ThermalModel, SteadyStateNodeGradient)
+{
+    const ThermalModel model(twoNode());
+    const std::vector<double> temps = model.steadyStateTemps(2.0);
+    ASSERT_EQ(temps.size(), 2u);
+    // Die is hotter than the spreader, which is hotter than ambient.
+    EXPECT_GT(temps[0], temps[1]);
+    EXPECT_GT(temps[1], 25.0);
+    EXPECT_NEAR(temps[0], 25.0 + 2.0 * 1.25, 1e-9);
+    EXPECT_NEAR(temps[1], 25.0 + 2.0 * 1.0, 1e-9);
+}
+
+TEST(ThermalModel, SteadyStateMonotoneInPower)
+{
+    const ThermalModel model(twoNode());
+    double last = -1e9;
+    for (double watts : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+        const double temp = model.steadyStateDieTemp(watts);
+        EXPECT_GT(temp, last);
+        last = temp;
+    }
+}
+
+TEST(ThermalModel, TransientConvergesToSteadyState)
+{
+    ThermalModel model(twoNode());
+    const double target = model.steadyStateDieTemp(3.0);
+    // Integrate long enough: the slowest time constant is ~20 s.
+    for (int step = 0; step < 400; ++step)
+        model.step(3.0, 1.0);
+    EXPECT_NEAR(model.dieTemp(), target, 0.05);
+}
+
+TEST(ThermalModel, TransientStartsAtAmbientAndHeats)
+{
+    ThermalModel model(twoNode());
+    EXPECT_DOUBLE_EQ(model.dieTemp(), 25.0);
+    model.step(5.0, 0.5);
+    const double warm = model.dieTemp();
+    EXPECT_GT(warm, 25.0);
+    model.step(5.0, 0.5);
+    EXPECT_GT(model.dieTemp(), warm);
+}
+
+TEST(ThermalModel, CoolsBackDownWhenPowerRemoved)
+{
+    ThermalModel model(twoNode());
+    for (int step = 0; step < 100; ++step)
+        model.step(5.0, 1.0);
+    const double hot = model.dieTemp();
+    for (int step = 0; step < 500; ++step)
+        model.step(0.0, 1.0);
+    EXPECT_LT(model.dieTemp(), hot);
+    EXPECT_NEAR(model.dieTemp(), 25.0, 0.1);
+}
+
+TEST(ThermalModel, ResetRestoresAmbient)
+{
+    ThermalModel model(twoNode());
+    model.step(10.0, 5.0);
+    model.reset();
+    EXPECT_DOUBLE_EQ(model.dieTemp(), 25.0);
+}
+
+TEST(ThermalModel, LeakageFeedbackRaisesEquilibrium)
+{
+    const ThermalModel model(twoNode());
+    power::EnergyModel em;
+    em.vddNominal = 1.0;
+    em.leakageRefWatts = 0.5;
+    em.leakageRefTempC = 25.0;
+    em.leakageTempCoeff = 0.01;
+
+    double total = 0.0;
+    const double with_leak = model.solveWithLeakage(2.0, em, 1.0, &total);
+    const double without = model.steadyStateDieTemp(2.0);
+    EXPECT_GT(with_leak, without);
+    EXPECT_GT(total, 2.0);
+    // Fixed point: steady(total) == temperature.
+    EXPECT_NEAR(model.steadyStateDieTemp(total), with_leak, 1e-6);
+}
+
+TEST(ThermalModel, RejectsMalformedLadders)
+{
+    ThermalConfig bad = twoNode();
+    bad.conductance.pop_back();
+    EXPECT_THROW(ThermalModel{bad}, FatalError);
+
+    bad = twoNode();
+    bad.capacitance.clear();
+    bad.conductance.clear();
+    EXPECT_THROW(ThermalModel{bad}, FatalError);
+
+    bad = twoNode();
+    bad.conductance[0] = -1.0;
+    EXPECT_THROW(ThermalModel{bad}, FatalError);
+}
+
+TEST(ThermalPresets, AllLaddersWellFormed)
+{
+    for (const ThermalConfig& cfg :
+         {xgene2Thermal(), versatileExpressThermal(),
+          athlonX4Thermal()}) {
+        EXPECT_NO_THROW(ThermalModel model(cfg));
+        EXPECT_GT(cfg.totalResistance(), 0.0);
+    }
+}
+
+TEST(ThermalPresets, ServerSinkBeatsBareTestChip)
+{
+    // The Versatile Express test chip has no heatsink: much higher
+    // die-to-ambient resistance than the server package.
+    EXPECT_GT(versatileExpressThermal().totalResistance(),
+              xgene2Thermal().totalResistance() * 3);
+}
+
+} // namespace
+} // namespace thermal
+} // namespace gest

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Focused timing validations of the superscalar model: functional-unit
+ * port limits, latency visibility, window and fetch-width effects —
+ * the mechanisms the GA exploits when shaping viruses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/simulator.hh"
+#include "isa/standard_libs.hh"
+
+namespace gest {
+namespace arch {
+namespace {
+
+std::vector<MicroOp>
+repeatInstr(const isa::InstructionLibrary& lib, const char* name,
+            std::vector<std::vector<std::string>> variants, int count)
+{
+    std::vector<isa::InstructionInstance> code;
+    for (int i = 0; i < count; ++i)
+        code.push_back(lib.makeInstance(
+            name, variants[static_cast<std::size_t>(i) %
+                           variants.size()]));
+    return decodeBody(lib, code);
+}
+
+double
+ipcOf(const CpuConfig& cfg, const std::vector<MicroOp>& body)
+{
+    LoopSimulator sim(cfg, InitState{});
+    return sim.run(body, 200, 8).ipc;
+}
+
+TEST(Timing, FpPortCountCapsFpThroughput)
+{
+    // Independent FMULs across 8 registers: throughput is limited by
+    // the two FP pipes, not the 4-wide issue.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const auto body = repeatInstr(
+        lib, "FMUL",
+        {{"v0", "v2", "v5"}, {"v1", "v3", "v6"}, {"v2", "v4", "v7"},
+         {"v3", "v5", "v0"}, {"v4", "v6", "v1"}, {"v5", "v7", "v2"},
+         {"v6", "v0", "v3"}, {"v7", "v1", "v4"}},
+        16);
+    const double ipc = ipcOf(cortexA15Config(), body);
+    // 2 FP/cycle + ~1/17 loop branch; never 3+.
+    EXPECT_LE(ipc, 2.2);
+    EXPECT_GT(ipc, 1.5);
+}
+
+TEST(Timing, SingleLsuSerializesMemoryOps)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const auto body = repeatInstr(
+        lib, "LDR",
+        {{"x2", "x10", "0"}, {"x3", "x10", "64"}, {"x2", "x10", "128"},
+         {"x3", "x10", "192"}},
+        12);
+    // The A15 model has one LSU: at most ~1 memory op per cycle.
+    const double ipc = ipcOf(cortexA15Config(), body);
+    EXPECT_LE(ipc, 1.2);
+
+    // The X-Gene2 model has two LSUs: about twice the throughput.
+    const double ipc_two = ipcOf(xgene2Config(), body);
+    EXPECT_GT(ipc_two, ipc * 1.5);
+}
+
+TEST(Timing, FmaLatencyChainVisible)
+{
+    // A single serial FMLA chain: IPC ~ (1 op) / (8-cycle latency).
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const auto chained =
+        repeatInstr(lib, "FMLA", {{"v0", "v1", "v2"}}, 8);
+    const double ipc_chained = ipcOf(cortexA15Config(), chained);
+    EXPECT_LT(ipc_chained, 0.25);
+
+    // Eight independent accumulator chains hide the latency.
+    const auto rotated = repeatInstr(
+        lib, "FMLA",
+        {{"v0", "v1", "v2"}, {"v1", "v2", "v3"}, {"v2", "v3", "v4"},
+         {"v3", "v4", "v5"}, {"v4", "v5", "v6"}, {"v5", "v6", "v7"},
+         {"v6", "v7", "v0"}, {"v7", "v0", "v1"}},
+        8);
+    const double ipc_rotated = ipcOf(cortexA15Config(), rotated);
+    EXPECT_GT(ipc_rotated, ipc_chained * 2.5);
+}
+
+TEST(Timing, WindowOccupancyReflectsStalls)
+{
+    // The issue-queue occupancy statistic — the dependency-tracking
+    // energy term the X-Gene2 power virus exploits (Table IV's
+    // long-latency instructions) — must be high for stall-heavy code
+    // and low for free-flowing code.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+
+    // Stall-heavy: serial FMLA chains keep many ops waiting.
+    const auto chained =
+        repeatInstr(lib, "FMLA", {{"v0", "v1", "v2"}}, 12);
+    // Free-flowing: independent single-cycle ALU ops drain instantly.
+    const auto flowing = repeatInstr(
+        lib, "ADD",
+        {{"x4", "x8", "x9"}, {"x5", "x8", "x9"}, {"x6", "x8", "x9"}},
+        12);
+
+    LoopSimulator sim(cortexA15Config(), InitState{});
+    const SimResult stalled = sim.run(chained, 200, 8);
+    const SimResult smooth = sim.run(flowing, 200, 8);
+    EXPECT_GT(stalled.avgWindowOccupancy,
+              smooth.avgWindowOccupancy * 2.0);
+    // And the stalls show up as lower IPC, as expected.
+    EXPECT_LT(stalled.ipc, smooth.ipc * 0.5);
+}
+
+TEST(Timing, FetchWidthBoundsIpc)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const auto body = repeatInstr(
+        lib, "ADD",
+        {{"x4", "x8", "x9"}, {"x5", "x8", "x9"}, {"x6", "x8", "x9"}},
+        12);
+    CpuConfig narrow_fetch = cortexA15Config();
+    narrow_fetch.fetchWidth = 1;
+    narrow_fetch.issueWidth = 4;
+    const double ipc = ipcOf(narrow_fetch, body);
+    EXPECT_LE(ipc, 1.0 + 1e-9);
+    EXPECT_GT(ipc, 0.8);
+}
+
+TEST(Timing, LoadPairMovesSixteenBytes)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const MicroOp mo =
+        decode(lib, lib.makeInstance("LDP", {"x2", "x3", "x10"}));
+    EXPECT_EQ(mo.accessBytes, 16);
+    EXPECT_EQ(mo.numDst, 2);
+    // It is still one issue slot and one cache access.
+    LoopSimulator sim(cortexA15Config(), InitState{});
+    const SimResult result =
+        sim.run(decodeBody(lib, {lib.makeInstance(
+                                    "LDP", {"x2", "x3", "x10"})}),
+                100, 4);
+    EXPECT_LE(result.cacheAccesses, 100u);
+}
+
+TEST(Timing, UnpipelinedDivBlocksItsUnitNotTheCore)
+{
+    // While the divider grinds, ALU work continues on an OoO core.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    std::vector<isa::InstructionInstance> code;
+    code.push_back(lib.makeInstance("UDIV", {"x4", "x5", "x6"}));
+    for (int i = 0; i < 6; ++i)
+        code.push_back(lib.makeInstance(
+            "EOR", {"x" + std::to_string(6 + i % 3), "x8", "x9"}));
+    const double ipc = ipcOf(cortexA15Config(), decodeBody(lib, code));
+    // 8 ops per iteration (incl. loop branch), iteration time is
+    // dominated by the 14-cycle divider: ~8/14.
+    EXPECT_GT(ipc, 0.45);
+    EXPECT_LT(ipc, 1.2);
+}
+
+TEST(Timing, NopsConsumeSlotsButNoUnits)
+{
+    // A NOP-only loop issues at ALU-port width (NOPs are modelled as
+    // zero-energy ALU slots), so padding still costs time — which is
+    // why dI/dt viruses can shape low phases with them.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    const auto body = repeatInstr(lib, "NOP", {{}}, 12);
+    const double ipc = ipcOf(cortexA15Config(), body);
+    EXPECT_GT(ipc, 1.5);
+    EXPECT_LE(ipc, 2.2);
+}
+
+TEST(Timing, A7DualIssuesBranchWithAlu)
+{
+    // The little core's folded branches pair with ALU ops: a
+    // branch+ADD loop sustains ~2 IPC even in-order.
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    std::vector<isa::InstructionInstance> code;
+    for (int i = 0; i < 6; ++i) {
+        code.push_back(lib.makeInstance("BNEXT", {}));
+        code.push_back(lib.makeInstance(
+            "ADD", {"x" + std::to_string(4 + i % 3), "x8", "x9"}));
+    }
+    const double ipc = ipcOf(cortexA7Config(), decodeBody(lib, code));
+    EXPECT_GT(ipc, 1.6);
+}
+
+} // namespace
+} // namespace arch
+} // namespace gest

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the baseline workload library.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "util/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace gest {
+namespace workloads {
+namespace {
+
+TEST(Workloads, ArmBaselinesPresent)
+{
+    const auto lib = isa::armLikeLibrary();
+    const auto set = armBareMetalBaselines(lib);
+    ASSERT_EQ(set.size(), 5u);
+    EXPECT_NO_THROW(byName(set, "coremark"));
+    EXPECT_NO_THROW(byName(set, "imdct"));
+    EXPECT_NO_THROW(byName(set, "fdct"));
+    EXPECT_NO_THROW(byName(set, "A15manual_stress_test"));
+    EXPECT_NO_THROW(byName(set, "A7manual_stress_test"));
+    EXPECT_THROW(byName(set, "quake"), FatalError);
+}
+
+TEST(Workloads, ServerBaselinesCoverParsecAndNas)
+{
+    const auto lib = isa::armLikeLibrary();
+    const auto set = serverBaselines(lib);
+    EXPECT_GE(set.size(), 8u);
+    EXPECT_NO_THROW(byName(set, "bodytrack")); // Figure 7's baseline
+    EXPECT_NO_THROW(byName(set, "cg"));
+    EXPECT_NO_THROW(byName(set, "ft"));
+}
+
+TEST(Workloads, X86BaselinesIncludeStabilityTests)
+{
+    const auto lib = isa::x86LikeLibrary();
+    const auto set = x86Baselines(lib);
+    EXPECT_GE(set.size(), 5u);
+    EXPECT_NO_THROW(byName(set, "prime95"));
+    EXPECT_NO_THROW(byName(set, "amd_stability_test"));
+}
+
+class ArmWorkloadTest : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(ArmWorkloadTest, RunsOnBothVersatileExpressCores)
+{
+    for (const auto& plat :
+         {platform::cortexA15Platform(), platform::cortexA7Platform()}) {
+        const auto set = armBareMetalBaselines(plat->library());
+        const Workload& w = byName(set, GetParam());
+        ASSERT_FALSE(w.code.empty());
+        const platform::Evaluation eval =
+            plat->evaluate(w.code, plat->library());
+        EXPECT_GT(eval.ipc, 0.05) << plat->name();
+        EXPECT_GT(eval.corePowerWatts, 0.0) << plat->name();
+        // §VII: power viruses and these kernels are L1-resident.
+        EXPECT_GT(eval.sim.l1HitRate(), 0.95) << plat->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArm, ArmWorkloadTest,
+                         ::testing::Values("coremark", "imdct", "fdct",
+                                           "A15manual_stress_test",
+                                           "A7manual_stress_test"));
+
+TEST(Workloads, ServerBaselinesEvaluateOnXgene2)
+{
+    const auto plat = platform::xgene2Platform();
+    for (const Workload& w : serverBaselines(plat->library())) {
+        const platform::Evaluation eval =
+            plat->evaluate(w.code, plat->library());
+        EXPECT_GT(eval.ipc, 0.1) << w.name;
+        EXPECT_GT(eval.dieTempC, plat->idleTempC()) << w.name;
+    }
+}
+
+TEST(Workloads, X86BaselinesEvaluateOnAthlon)
+{
+    const auto plat = platform::athlonX4Platform();
+    for (const Workload& w : x86Baselines(plat->library())) {
+        const platform::Evaluation eval =
+            plat->evaluate(w.code, plat->library(), true);
+        EXPECT_GT(eval.ipc, 0.1) << w.name;
+        EXPECT_TRUE(eval.hasVoltage) << w.name;
+        EXPECT_GT(eval.peakToPeakV, 0.0) << w.name;
+    }
+}
+
+TEST(Workloads, ManualStressTestsBeatConventionalOnOwnPlatform)
+{
+    // On each Versatile Express core, the hand-written stress-test for
+    // that core draws more power than coremark (it was written to).
+    const auto a15 = platform::cortexA15Platform();
+    auto set = armBareMetalBaselines(a15->library());
+    const double manual15 =
+        a15->evaluate(byName(set, "A15manual_stress_test").code,
+                      a15->library())
+            .chipPowerWatts;
+    const double core15 =
+        a15->evaluate(byName(set, "coremark").code, a15->library())
+            .chipPowerWatts;
+    EXPECT_GT(manual15, core15);
+
+    const auto a7 = platform::cortexA7Platform();
+    set = armBareMetalBaselines(a7->library());
+    const double manual7 =
+        a7->evaluate(byName(set, "A7manual_stress_test").code,
+                     a7->library())
+            .chipPowerWatts;
+    const double core7 =
+        a7->evaluate(byName(set, "coremark").code, a7->library())
+            .chipPowerWatts;
+    EXPECT_GT(manual7, core7);
+}
+
+TEST(Workloads, CrossStressTestsAreWeakerOffPlatform)
+{
+    // §V: "Different CPU designs require different stress-tests" — each
+    // manual stress-test is weaker on the other core than the one
+    // written for it.
+    const auto a15 = platform::cortexA15Platform();
+    const auto set15 = armBareMetalBaselines(a15->library());
+    const double own =
+        a15->evaluate(byName(set15, "A15manual_stress_test").code,
+                      a15->library())
+            .chipPowerWatts;
+    const double other =
+        a15->evaluate(byName(set15, "A7manual_stress_test").code,
+                      a15->library())
+            .chipPowerWatts;
+    EXPECT_GT(own, other);
+}
+
+TEST(Workloads, Prime95LikeIsHighPowerLowNoise)
+{
+    // §VI: Prime95 raises power very high but is a poor dI/dt stressor.
+    const auto amd = platform::athlonX4Platform();
+    const auto set = x86Baselines(amd->library());
+    const platform::Evaluation prime =
+        amd->evaluate(byName(set, "prime95").code, amd->library(), true);
+    const platform::Evaluation idle =
+        amd->evaluate(byName(set, "idle_spin").code, amd->library(),
+                      true);
+    EXPECT_GT(prime.chipPowerWatts, idle.chipPowerWatts * 1.4);
+    // Sustained current: noise within a small fraction of nominal.
+    EXPECT_LT(prime.peakToPeakV, 0.08);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace gest

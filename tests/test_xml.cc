@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the XML parser substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+#include "xml/xml.hh"
+
+namespace gest {
+namespace xml {
+namespace {
+
+TEST(Xml, ParsesSimpleElement)
+{
+    const Document doc = parse("<root/>");
+    EXPECT_EQ(doc.root().name(), "root");
+    EXPECT_TRUE(doc.root().children().empty());
+    EXPECT_TRUE(doc.root().text().empty());
+}
+
+TEST(Xml, ParsesAttributesInOrder)
+{
+    const Document doc =
+        parse("<op id=\"mem\" values=\"x2 x3\" type='register'/>");
+    const Element& root = doc.root();
+    ASSERT_EQ(root.attributes().size(), 3u);
+    EXPECT_EQ(root.attributes()[0].name, "id");
+    EXPECT_EQ(root.attr("values"), "x2 x3");
+    EXPECT_EQ(root.attr("type"), "register");
+    EXPECT_TRUE(root.hasAttr("id"));
+    EXPECT_FALSE(root.hasAttr("nope"));
+    EXPECT_EQ(root.attrOr("nope", "dflt"), "dflt");
+}
+
+TEST(Xml, MissingAttributeIsFatal)
+{
+    const Document doc = parse("<a x=\"1\"/>");
+    EXPECT_THROW(doc.root().attr("y"), FatalError);
+}
+
+TEST(Xml, ParsesNestedChildren)
+{
+    const Document doc = parse(
+        "<cfg><ga size=\"50\"/><operands><operand id=\"a\"/>"
+        "<operand id=\"b\"/></operands></cfg>");
+    const Element& root = doc.root();
+    ASSERT_EQ(root.children().size(), 2u);
+    const Element* operands = root.child("operands");
+    ASSERT_NE(operands, nullptr);
+    EXPECT_EQ(operands->childrenNamed("operand").size(), 2u);
+    EXPECT_EQ(operands->childrenNamed("operand")[1]->attr("id"), "b");
+    EXPECT_EQ(root.child("missing"), nullptr);
+    EXPECT_THROW(root.requiredChild("missing"), FatalError);
+    EXPECT_EQ(root.requiredChild("ga").attr("size"), "50");
+}
+
+TEST(Xml, ParsesTextContent)
+{
+    const Document doc = parse("<t>  hello world  </t>");
+    EXPECT_EQ(doc.root().text(), "hello world");
+}
+
+TEST(Xml, SkipsCommentsAndProlog)
+{
+    const Document doc = parse(
+        "<?xml version=\"1.0\"?>\n<!-- header -->\n"
+        "<root><!-- inner --><child/><!-- tail --></root>\n"
+        "<!-- trailer -->");
+    EXPECT_EQ(doc.root().children().size(), 1u);
+}
+
+TEST(Xml, ParsesEntities)
+{
+    const Document doc =
+        parse("<t a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;</t>");
+    EXPECT_EQ(doc.root().attr("a"), "<&>");
+    EXPECT_EQ(doc.root().text(), "\"x' A");
+}
+
+TEST(Xml, ParsesCdata)
+{
+    const Document doc = parse("<t><![CDATA[a < b && c]]></t>");
+    EXPECT_EQ(doc.root().text(), "a < b && c");
+}
+
+TEST(Xml, SelfClosingAndExplicitCloseEquivalent)
+{
+    EXPECT_EQ(parse("<a></a>").root().name(), "a");
+    EXPECT_EQ(parse("<a/>").root().name(), "a");
+}
+
+TEST(Xml, RejectsMismatchedTags)
+{
+    EXPECT_THROW(parse("<a><b></a></b>"), FatalError);
+    EXPECT_THROW(parse("<a>"), FatalError);
+    EXPECT_THROW(parse("<a attr=novalue/>"), FatalError);
+    EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), FatalError);
+    EXPECT_THROW(parse(""), FatalError);
+    EXPECT_THROW(parse("<a/><b/>"), FatalError);
+    EXPECT_THROW(parse("<a>&unknown;</a>"), FatalError);
+    EXPECT_THROW(parse("<a><!-- unterminated"), FatalError);
+}
+
+TEST(Xml, ErrorMessagesCarryPosition)
+{
+    try {
+        parse("<a>\n  <b>\n</a>", "test.xml");
+        FAIL() << "expected parse failure";
+    } catch (const FatalError& err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("test.xml"), std::string::npos);
+        EXPECT_NE(msg.find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Xml, LineNumbersOnElements)
+{
+    const Document doc = parse("<a>\n  <b/>\n  <c/>\n</a>");
+    EXPECT_EQ(doc.root().line(), 1);
+    EXPECT_EQ(doc.root().child("b")->line(), 2);
+    EXPECT_EQ(doc.root().child("c")->line(), 3);
+}
+
+TEST(Xml, EscapeCoversPredefinedEntities)
+{
+    EXPECT_EQ(escape("<a & 'b'>\""), "&lt;a &amp; &apos;b&apos;&gt;&quot;");
+    EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Xml, ToStringRoundTrips)
+{
+    const std::string text =
+        "<cfg version=\"1\"><ga size=\"50\"/><note>hi &amp; bye</note>"
+        "</cfg>";
+    const Document doc = parse(text);
+    const Document again = parse(doc.root().toString());
+    EXPECT_EQ(again.root().attr("version"), "1");
+    EXPECT_EQ(again.root().child("ga")->attr("size"), "50");
+    EXPECT_EQ(again.root().child("note")->text(), "hi & bye");
+}
+
+TEST(Xml, ParseFileWorks)
+{
+    const std::string dir = makeTempDir("gest-xml");
+    writeFile(dir + "/c.xml", "<root><x v=\"3\"/></root>");
+    const Document doc = parseFile(dir + "/c.xml");
+    EXPECT_EQ(doc.root().child("x")->attr("v"), "3");
+    removeAll(dir);
+}
+
+TEST(Xml, PaperFigure4Example)
+{
+    // The operand/instruction definition style of Figure 4.
+    const Document doc = parse(
+        "<defs>"
+        "  <operand id=\"mem_result\" values=\"x2 x3 x4\""
+        "           type=\"register\"/>"
+        "  <operand id=\"immediate_value\" min=\"0\" max=\"256\""
+        "           stride=\"8\" type=\"immediate\"/>"
+        "  <instruction name=\"LDR\" num_of_operands=\"3\""
+        "      operand1=\"mem_result\""
+        "      operand2=\"mem_address_register\""
+        "      operand3=\"immediate_value\""
+        "      format=\"LDR op1,[op2,#op3]\" type=\"mem\"/>"
+        "</defs>");
+    const Element* inst = doc.root().child("instruction");
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->attr("name"), "LDR");
+    EXPECT_EQ(inst->attr("format"), "LDR op1,[op2,#op3]");
+    EXPECT_EQ(doc.root().childrenNamed("operand").size(), 2u);
+}
+
+} // namespace
+} // namespace xml
+} // namespace gest

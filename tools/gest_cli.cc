@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The `gest` command-line tool: the C++ counterpart of invoking the
+ * original Python framework.
+ *
+ *   gest run <config.xml>      run a GA search from a configuration
+ *   gest stats <run_dir>       per-generation statistics of a saved run
+ *   gest fittest <run_dir>     print the fittest individual's source
+ *   gest platforms             list the bundled platform presets
+ *   gest classes               list measurement and fitness classes
+ *
+ * `stats` and `fittest` rebuild the instruction library from the
+ * run_configuration.xml recorded in the run directory, so a run is
+ * self-describing; `--library arm|x86` overrides that.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "config/config.hh"
+#include "isa/standard_libs.hh"
+#include "measure/measurement.hh"
+#include "native/native_measurement.hh"
+#include "output/stats.hh"
+#include "platform/platform.hh"
+#include "util/fileutil.hh"
+
+namespace {
+
+using namespace gest;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  gest run <config.xml>        run a GA search\n"
+        "  gest stats <run_dir>         summarize a saved run\n"
+        "  gest fittest <run_dir>       print the fittest individual\n"
+        "  gest platforms               list platform presets\n"
+        "  gest classes                 list measurement/fitness "
+        "classes\n"
+        "options for stats/fittest: --library arm|x86|cache-stress\n");
+    return 2;
+}
+
+isa::InstructionLibrary
+libraryForRun(const std::string& run_dir, const char* override_name)
+{
+    if (override_name) {
+        const std::string name = override_name;
+        if (name == "arm")
+            return isa::armLikeLibrary();
+        if (name == "armv7")
+            return isa::armV7LikeLibrary();
+        if (name == "x86")
+            return isa::x86LikeLibrary();
+        if (name == "cache-stress")
+            return isa::armCacheStressLibrary();
+        fatal("unknown --library '", name, "'");
+    }
+    const std::string recorded = run_dir + "/run_configuration.xml";
+    std::string text;
+    if (tryReadFile(recorded, text)) {
+        // Only the instruction library is needed; the recorded
+        // configuration's relative file references (template, external
+        // measurement configs) do not resolve from the run directory.
+        config::ParseOptions options;
+        options.loadReferencedFiles = false;
+        config::RunConfig cfg =
+            config::parseConfig(text, run_dir, options);
+        return std::move(cfg.library);
+    }
+    warn("no run_configuration.xml in ", run_dir,
+         "; assuming the bundled ARM library");
+    return isa::armLikeLibrary();
+}
+
+int
+cmdRun(const std::string& path)
+{
+    const config::RunConfig cfg = config::loadConfig(path);
+    inform("running GA: population ", cfg.ga.populationSize,
+           ", individual size ", cfg.ga.individualSize, ", ",
+           cfg.ga.generations, " generations, measurement ",
+           cfg.measurementClass, ", fitness ", cfg.fitnessClass);
+    const config::RunResult result = config::runFromConfig(cfg);
+    if (!quiet()) {
+        for (const core::GenerationRecord& rec : result.history) {
+            if (rec.generation % 10 == 0 ||
+                rec.generation + 1 ==
+                    static_cast<int>(result.history.size()))
+                std::printf("gen %3d: best %.6f avg %.6f "
+                            "diversity %.3f\n",
+                            rec.generation, rec.bestFitness,
+                            rec.averageFitness, rec.diversity);
+        }
+    }
+
+    std::printf("best individual: id %llu, fitness %.6f\n",
+                static_cast<unsigned long long>(result.best.id),
+                result.best.fitness);
+    for (const std::string& line :
+         core::renderLines(cfg.library, result.best))
+        std::printf("%s\n", line.c_str());
+    std::printf("breakdown: %s; unique instructions: %zu; "
+                "measurements performed: %llu\n",
+                core::breakdownToString(
+                    core::classBreakdown(cfg.library, result.best))
+                    .c_str(),
+                core::uniqueInstructionCount(result.best),
+                static_cast<unsigned long long>(result.evaluations));
+    if (!cfg.outputDirectory.empty())
+        std::printf("artifacts recorded in %s\n",
+                    cfg.outputDirectory.c_str());
+    return 0;
+}
+
+int
+cmdStats(const std::string& run_dir, const char* library_override)
+{
+    const isa::InstructionLibrary lib =
+        libraryForRun(run_dir, library_override);
+    std::printf("%s", output::formatSummaryTable(
+                          output::summarizeRun(lib, run_dir))
+                          .c_str());
+    return 0;
+}
+
+int
+cmdFittest(const std::string& run_dir, const char* library_override)
+{
+    const isa::InstructionLibrary lib =
+        libraryForRun(run_dir, library_override);
+    int generation = 0;
+    const core::Individual best =
+        output::fittestInRun(lib, run_dir, &generation);
+    std::printf("# id %llu, generation %d, fitness %.6f\n",
+                static_cast<unsigned long long>(best.id), generation,
+                best.fitness);
+    for (const std::string& line : core::renderLines(lib, best))
+        std::printf("%s\n", line.c_str());
+    return 0;
+}
+
+int
+cmdPlatforms()
+{
+    for (const std::string& name : platform::Platform::presetNames()) {
+        const auto plat = platform::Platform::byName(name);
+        std::printf("%-12s %d cores @ %.2f GHz, %s, %s\n", name.c_str(),
+                    plat->chip().numCores, plat->cpu().freqGHz,
+                    plat->cpu().outOfOrder ? "out-of-order" : "in-order",
+                    plat->pdnModel() ? "PDN instrumented"
+                                     : "no PDN instrumentation");
+    }
+    return 0;
+}
+
+int
+cmdClasses()
+{
+    config::registerBuiltins();
+    native::registerNativeMeasurements();
+    std::printf("measurement classes:\n");
+    for (const std::string& name :
+         measure::MeasurementRegistry::instance().names())
+        std::printf("  %s\n", name.c_str());
+    std::printf("fitness classes:\n");
+    for (const std::string& name :
+         fitness::FitnessRegistry::instance().names())
+        std::printf("  %s\n", name.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+try {
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    const char* library_override = nullptr;
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--library") == 0)
+            library_override = argv[i + 1];
+    }
+
+    if (command == "run" && argc >= 3)
+        return cmdRun(argv[2]);
+    if (command == "stats" && argc >= 3)
+        return cmdStats(argv[2], library_override);
+    if (command == "fittest" && argc >= 3)
+        return cmdFittest(argv[2], library_override);
+    if (command == "platforms")
+        return cmdPlatforms();
+    if (command == "classes")
+        return cmdClasses();
+    return usage();
+} catch (const gest::FatalError& err) {
+    std::fprintf(stderr, "fatal: %s\n", err.what());
+    return 1;
+}
