@@ -57,6 +57,12 @@ parseGaElement(const xml::Element& ga, core::GaParams& params)
     if (ga.hasAttr("seed"))
         params.seed =
             static_cast<std::uint64_t>(parseInt(ga.attr("seed"), "seed"));
+    if (ga.hasAttr("threads"))
+        params.threads =
+            static_cast<int>(parseInt(ga.attr("threads"), "threads"));
+    if (ga.hasAttr("fitness_cache_size"))
+        params.fitnessCacheSize = static_cast<int>(parseInt(
+            ga.attr("fitness_cache_size"), "fitness_cache_size"));
 }
 
 void
@@ -274,6 +280,8 @@ runFromConfig(const RunConfig& cfg)
     result.best = engine.bestEver();
     result.history = engine.history();
     result.evaluations = engine.evaluations();
+    result.cacheHits = engine.cacheHits();
+    result.cacheMisses = engine.cacheMisses();
     return result;
 }
 

@@ -114,6 +114,10 @@ struct RunResult
     core::Individual best;
     std::vector<core::GenerationRecord> history;
     std::uint64_t evaluations = 0;
+
+    /** Fitness-cache totals (zero when the cache is disabled). */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "core/engine.hh"
 
+#include <unordered_map>
+
 #include "util/logging.hh"
 
 namespace gest {
@@ -14,6 +16,9 @@ Engine::Engine(GaParams params, const isa::InstructionLibrary& lib,
     _params.validate();
     if (lib.numInstructions() == 0)
         fatal("the GA needs a non-empty instruction library");
+    if (_params.fitnessCacheSize > 0)
+        _cache = std::make_unique<FitnessCache>(
+            static_cast<std::size_t>(_params.fitnessCacheSize));
 }
 
 void
@@ -56,23 +61,126 @@ Engine::randomIndividual()
 }
 
 void
-Engine::evaluate(Individual& ind)
+Engine::measureOne(Individual& ind,
+                   measure::Measurement& measurement) const
 {
-    if (ind.evaluated)
-        return;
-    ind.measurements = _measurement.measure(ind.code).values;
+    // Never touches the GA RNG or any engine state, so workers can run
+    // it concurrently against their private measurement clones.
+    ind.measurements = measurement.measure(ind.code).values;
     ind.fitness = _fitness.getFitness(ind, _lib);
     ind.evaluated = true;
-    ++_evaluations;
+}
+
+void
+Engine::ensureWorkers()
+{
+    if (_pool)
+        return;
+    const int workers = _params.threads;
+    _workerMeasurements.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        std::unique_ptr<measure::Measurement> clone =
+            _measurement.clone();
+        if (!clone)
+            fatal("measurement '", _measurement.name(),
+                  "' does not implement clone() and cannot be shared "
+                  "across evaluation workers; set threads=1");
+        _workerMeasurements.push_back(std::move(clone));
+    }
+    _pool = std::make_unique<util::ThreadPool>(workers);
+}
+
+void
+Engine::measureBatch(const std::vector<std::size_t>& indices)
+{
+    if (indices.empty())
+        return;
+    std::vector<Individual>& inds = _population.individuals;
+    if (_params.threads <= 1 || indices.size() == 1) {
+        for (std::size_t index : indices)
+            measureOne(inds[index], _measurement);
+    } else {
+        ensureWorkers();
+        _pool->parallelFor(
+            indices.size(), [&](std::size_t k, int worker) {
+                measureOne(inds[indices[k]],
+                           *_workerMeasurements[static_cast<std::size_t>(
+                               worker)]);
+            });
+    }
+    _evaluations += indices.size();
 }
 
 void
 Engine::evaluatePopulation()
 {
-    for (Individual& ind : _population.individuals)
-        evaluate(ind);
+    std::vector<Individual>& inds = _population.individuals;
+
+    // Resolve cache hits and fold in-generation duplicate genomes onto
+    // one representative each, so nothing redundant reaches the
+    // simulator. Duplicate groups only form when the cache is enabled:
+    // with it off, the engine measures exactly what the serial seed
+    // code measured.
+    std::uint64_t hits = 0;
+    std::vector<std::size_t> toMeasure;
+    std::vector<std::vector<std::size_t>> duplicates;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < inds.size(); ++i) {
+        Individual& ind = inds[i];
+        if (ind.evaluated)
+            continue;
+        if (!_cache) {
+            toMeasure.push_back(i);
+            continue;
+        }
+        if (const FitnessCache::Entry* entry = _cache->lookup(ind.code)) {
+            ind.measurements = entry->measurements;
+            ind.fitness = entry->fitness;
+            ind.evaluated = true;
+            ++hits;
+            continue;
+        }
+        std::vector<std::size_t>& slots = groups[genomeHash(ind.code)];
+        bool merged = false;
+        for (std::size_t slot : slots) {
+            if (inds[toMeasure[slot]].code == ind.code) {
+                duplicates[slot].push_back(i);
+                merged = true;
+                ++hits;
+                break;
+            }
+        }
+        if (merged)
+            continue;
+        slots.push_back(toMeasure.size());
+        toMeasure.push_back(i);
+        duplicates.emplace_back();
+    }
+
+    measureBatch(toMeasure);
+
+    // Back on the coordinating thread: publish representatives to the
+    // cache and copy them onto their duplicates, in index order so the
+    // outcome never depends on worker scheduling.
+    if (_cache) {
+        for (std::size_t slot = 0; slot < toMeasure.size(); ++slot) {
+            const Individual& rep = inds[toMeasure[slot]];
+            _cache->insert(rep.code,
+                           {rep.measurements, rep.fitness});
+            for (std::size_t i : duplicates[slot]) {
+                inds[i].measurements = rep.measurements;
+                inds[i].fitness = rep.fitness;
+                inds[i].evaluated = true;
+            }
+        }
+    }
+    _cacheHits += hits;
+    _cacheMisses += toMeasure.size();
 
     const Individual& best = _population.best();
+    // Copy into _bestEver only on strict improvement: with elitism the
+    // champion reappears every generation and the copy would be a
+    // full-genome allocation per generation.
     if (!_bestEver || best.fitness > _bestEver->fitness)
         _bestEver = best;
 
@@ -84,6 +192,8 @@ Engine::evaluatePopulation()
     record.bestUniqueInstructions = uniqueInstructionCount(best);
     record.bestBreakdown = classBreakdown(_lib, best);
     record.diversity = _population.genotypeDiversity();
+    record.cacheHits = hits;
+    record.cacheMisses = toMeasure.size();
     _history.push_back(record);
 
     if (_callback)

@@ -8,15 +8,18 @@
 #define GEST_CORE_ENGINE_HH
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/fitness_cache.hh"
 #include "core/ga_params.hh"
 #include "core/operators.hh"
 #include "core/population.hh"
 #include "fitness/fitness.hh"
 #include "measure/measurement.hh"
 #include "util/random.hh"
+#include "util/thread_pool.hh"
 
 namespace gest {
 namespace core {
@@ -33,6 +36,16 @@ struct GenerationRecord
 
     /** Population genotype diversity (Population::genotypeDiversity). */
     double diversity = 0.0;
+
+    /**
+     * Evaluations satisfied without running the measurement this
+     * generation: fitness-cache hits plus in-generation duplicate
+     * genomes folded onto one measurement.
+     */
+    std::uint64_t cacheHits = 0;
+
+    /** Measurements actually performed this generation. */
+    std::uint64_t cacheMisses = 0;
 };
 
 /**
@@ -87,6 +100,12 @@ class Engine
     /** Total measure() invocations so far. */
     std::uint64_t evaluations() const { return _evaluations; }
 
+    /** Lifetime evaluations satisfied by the fitness cache. */
+    std::uint64_t cacheHits() const { return _cacheHits; }
+
+    /** Lifetime evaluations that had to run the measurement. */
+    std::uint64_t cacheMisses() const { return _cacheMisses; }
+
     /** The engine's parameters. */
     const GaParams& params() const { return _params; }
 
@@ -100,8 +119,20 @@ class Engine
     /** @return true once the stagnation early-stop triggers. */
     bool stagnated() const;
 
-    /** Measure and score one individual if not already evaluated. */
-    void evaluate(Individual& ind);
+    /** Measure and score one individual with @p measurement. */
+    void measureOne(Individual& ind,
+                    measure::Measurement& measurement) const;
+
+    /**
+     * Measure the individuals at @p indices, serially or fanned out
+     * across the worker pool. Results are written back by index, so
+     * the outcome is independent of scheduling order for measurements
+     * that are pure functions of the code.
+     */
+    void measureBatch(const std::vector<std::size_t>& indices);
+
+    /** Lazily start the worker pool and per-worker measurement clones. */
+    void ensureWorkers();
 
     /** Evaluate every individual and append the generation record. */
     void evaluatePopulation();
@@ -123,6 +154,17 @@ class Engine
     std::uint64_t _nextId = 1;
     std::uint64_t _evaluations = 0;
     bool _initialized = false;
+
+    /** Worker pool, started on the first parallel evaluation. */
+    std::unique_ptr<util::ThreadPool> _pool;
+
+    /** One private measurement clone per worker. */
+    std::vector<std::unique_ptr<measure::Measurement>> _workerMeasurements;
+
+    /** Genome-keyed fitness cache (null when disabled). */
+    std::unique_ptr<FitnessCache> _cache;
+    std::uint64_t _cacheHits = 0;
+    std::uint64_t _cacheMisses = 0;
 };
 
 } // namespace core

@@ -1,0 +1,111 @@
+#include "core/fitness_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace core {
+
+namespace {
+
+constexpr std::uint64_t fnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t fnvPrime = 1099511628211ULL;
+
+inline std::uint64_t
+mix(std::uint64_t hash, std::uint64_t value)
+{
+    // Feed the value byte by byte, FNV-1a style.
+    for (int shift = 0; shift < 64; shift += 8) {
+        hash ^= (value >> shift) & 0xffu;
+        hash *= fnvPrime;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::uint64_t
+genomeHash(const std::vector<isa::InstructionInstance>& code)
+{
+    std::uint64_t hash = fnvOffset;
+    hash = mix(hash, code.size());
+    for (const isa::InstructionInstance& inst : code) {
+        hash = mix(hash, inst.defIndex);
+        // Operand counts are fixed per definition, but hashing the size
+        // keeps the function collision-free across library variants.
+        hash = mix(hash, inst.operandChoice.size());
+        for (std::uint32_t choice : inst.operandChoice)
+            hash = mix(hash, choice);
+    }
+    return hash;
+}
+
+FitnessCache::FitnessCache(std::size_t capacity) : _capacity(capacity)
+{
+    if (capacity == 0)
+        fatal("fitness cache capacity must be positive");
+}
+
+FitnessCache::NodeList::iterator
+FitnessCache::find(std::uint64_t hash,
+                   const std::vector<isa::InstructionInstance>& code)
+{
+    const auto bucket = _index.find(hash);
+    if (bucket == _index.end())
+        return _lru.end();
+    for (NodeList::iterator it : bucket->second) {
+        if (it->code == code)
+            return it;
+    }
+    return _lru.end();
+}
+
+const FitnessCache::Entry*
+FitnessCache::lookup(const std::vector<isa::InstructionInstance>& code)
+{
+    const std::uint64_t hash = genomeHash(code);
+    const NodeList::iterator it = find(hash, code);
+    if (it == _lru.end()) {
+        ++_misses;
+        return nullptr;
+    }
+    ++_hits;
+    _lru.splice(_lru.begin(), _lru, it);
+    return &_lru.front().entry;
+}
+
+void
+FitnessCache::insert(const std::vector<isa::InstructionInstance>& code,
+                     Entry entry)
+{
+    const std::uint64_t hash = genomeHash(code);
+    const NodeList::iterator it = find(hash, code);
+    if (it != _lru.end()) {
+        it->entry = std::move(entry);
+        _lru.splice(_lru.begin(), _lru, it);
+        return;
+    }
+    _lru.push_front(Node{code, hash, std::move(entry)});
+    _index[hash].push_back(_lru.begin());
+    if (_lru.size() > _capacity)
+        evict();
+}
+
+void
+FitnessCache::evict()
+{
+    const NodeList::iterator victim = std::prev(_lru.end());
+    const auto bucket = _index.find(victim->hash);
+    if (bucket == _index.end())
+        panic("fitness cache index lost a bucket");
+    auto& entries = bucket->second;
+    entries.erase(std::remove(entries.begin(), entries.end(), victim),
+                  entries.end());
+    if (entries.empty())
+        _index.erase(bucket);
+    _lru.pop_back();
+}
+
+} // namespace core
+} // namespace gest

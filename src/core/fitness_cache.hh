@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Genome-keyed fitness cache.
+ *
+ * Crossover with elitism and tournament selection routinely re-creates
+ * genomes the engine already measured — identical children of identical
+ * parents, mutations that cancel out, converged populations full of
+ * clones. Measurement is all of the runtime (the superscalar timing
+ * model here, a 5-second hardware run in the paper), so a duplicate
+ * genome should never reach the simulator twice. The cache maps a full
+ * genome — FNV-1a hash for the index, full gene-by-gene equality to
+ * guard against collisions — to the measurement vector and fitness it
+ * produced, with a bounded LRU eviction policy.
+ *
+ * Only valid for measurements that are pure functions of the code. For
+ * NoisyMeasurement a hit replays the first draw instead of sampling
+ * fresh noise; see docs/parallelism.md for the semantics.
+ */
+
+#ifndef GEST_CORE_FITNESS_CACHE_HH
+#define GEST_CORE_FITNESS_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace gest {
+namespace core {
+
+/** FNV-1a over a genome: every defIndex and operand choice. */
+std::uint64_t genomeHash(
+    const std::vector<isa::InstructionInstance>& code);
+
+/**
+ * Bounded LRU map from genome to (measurements, fitness). Not
+ * thread-safe: the engine consults it on the coordinating thread only,
+ * before and after fanning a generation out to the worker pool.
+ */
+class FitnessCache
+{
+  public:
+    /** What evaluating one genome produced. */
+    struct Entry
+    {
+        std::vector<double> measurements;
+        double fitness = 0.0;
+    };
+
+    /** @param capacity maximum cached genomes (must be positive). */
+    explicit FitnessCache(std::size_t capacity);
+
+    /**
+     * Look a genome up, promoting it to most-recently-used.
+     * @return the cached entry, or nullptr on a miss. The pointer is
+     *         invalidated by the next insert().
+     */
+    const Entry* lookup(const std::vector<isa::InstructionInstance>& code);
+
+    /** Insert (or refresh) a genome's entry, evicting the LRU tail. */
+    void insert(const std::vector<isa::InstructionInstance>& code,
+                Entry entry);
+
+    /** Cached genomes. */
+    std::size_t size() const { return _lru.size(); }
+
+    /** Configured capacity. */
+    std::size_t capacity() const { return _capacity; }
+
+    /** Lifetime lookup hits. */
+    std::uint64_t hits() const { return _hits; }
+
+    /** Lifetime lookup misses. */
+    std::uint64_t misses() const { return _misses; }
+
+  private:
+    struct Node
+    {
+        std::vector<isa::InstructionInstance> code;
+        std::uint64_t hash = 0;
+        Entry entry;
+    };
+
+    using NodeList = std::list<Node>;
+
+    /** Find a node by genome without touching the counters. */
+    NodeList::iterator find(
+        std::uint64_t hash,
+        const std::vector<isa::InstructionInstance>& code);
+
+    void evict();
+
+    NodeList _lru; ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<NodeList::iterator>>
+        _index;
+    std::size_t _capacity;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace core
+} // namespace gest
+
+#endif // GEST_CORE_FITNESS_CACHE_HH

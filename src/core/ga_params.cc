@@ -90,6 +90,11 @@ GaParams::validate() const
     if (stagnationLimit < 0)
         fatal("stagnation limit must be non-negative, got ",
               stagnationLimit);
+    if (threads < 1)
+        fatal("threads must be positive, got ", threads);
+    if (fitnessCacheSize < 0)
+        fatal("fitness_cache_size must be non-negative, got ",
+              fitnessCacheSize);
 }
 
 } // namespace core

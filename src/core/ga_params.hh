@@ -88,6 +88,26 @@ struct GaParams
     std::uint64_t seed = 1;
 
     /**
+     * Worker threads for population evaluation (1 = serial). The
+     * original tool dispatches individuals to multiple boards because
+     * measurement dominates wall-clock time; here workers measure
+     * against private Measurement clones. For measurements that are
+     * pure functions of the code, results are bit-identical to a
+     * serial run regardless of the thread count (evaluation never
+     * touches the GA RNG and results are written back by index).
+     */
+    int threads = 1;
+
+    /**
+     * Capacity of the genome-keyed fitness cache (0 disables).
+     * Duplicate genomes — elitism survivors, identical crossover
+     * children, converged clones — skip the simulator and reuse the
+     * first measurement. Transparent for deterministic measurements;
+     * see docs/parallelism.md for the noisy-measurement semantics.
+     */
+    int fitnessCacheSize = 0;
+
+    /**
      * Pick a mutation rate targeting ~one mutated instruction per
      * individual of the given size (the paper's rule of thumb).
      */

@@ -13,6 +13,12 @@ Measurement::init(const xml::Element* config)
     (void)config;
 }
 
+std::unique_ptr<Measurement>
+Measurement::clone() const
+{
+    return nullptr;
+}
+
 MeasurementRegistry&
 MeasurementRegistry::instance()
 {

@@ -69,6 +69,15 @@ class Measurement
 
     /** Short identifier used in logs. */
     virtual std::string name() const = 0;
+
+    /**
+     * Duplicate this measurement, configuration included, so each
+     * evaluation worker owns a private instance and no mutable state
+     * (RNG streams, simulators, scratch buffers) is shared across
+     * threads. The default returns nullptr, meaning "not cloneable":
+     * such a measurement can only run with threads=1.
+     */
+    virtual std::unique_ptr<Measurement> clone() const;
 };
 
 /**

@@ -66,5 +66,20 @@ NoisyMeasurement::name() const
     return "Noisy(" + _inner->name() + ")";
 }
 
+std::unique_ptr<Measurement>
+NoisyMeasurement::clone() const
+{
+    std::unique_ptr<Measurement> inner = _inner->clone();
+    if (!inner)
+        return nullptr;
+    // Derive a per-clone seed from the parent's noise state so equal
+    // parents produce equal clone families, yet each clone draws its
+    // own stream.
+    const std::uint64_t seed =
+        _rng.state()[0] ^ (++_clones * 0x9e3779b97f4a7c15ULL);
+    return std::make_unique<NoisyMeasurement>(std::move(inner), _sigma,
+                                              seed);
+}
+
 } // namespace measure
 } // namespace gest

@@ -49,6 +49,17 @@ class NoisyMeasurement : public Measurement
 
     std::string name() const override;
 
+    /**
+     * Clone for a parallel-evaluation worker: same sigma, a clone of
+     * the inner measurement, and an independent deterministic noise
+     * stream (successive clones of one parent draw distinct streams).
+     * Noisy runs therefore stay reproducible for a fixed thread count
+     * but, unlike pure measurements, sample different noise when the
+     * thread count changes. nullptr if the inner measurement is not
+     * cloneable.
+     */
+    std::unique_ptr<Measurement> clone() const override;
+
     /** The wrapped measurement. */
     const Measurement& inner() const { return *_inner; }
 
@@ -62,6 +73,9 @@ class NoisyMeasurement : public Measurement
     std::unique_ptr<Measurement> _inner;
     double _sigma;
     Rng _rng;
+
+    /** Clones handed out so far; keys each clone's derived seed. */
+    mutable std::uint64_t _clones = 0;
 };
 
 } // namespace measure

@@ -58,6 +58,12 @@ class SimPowerMeasurement : public SimMeasurementBase
         const std::vector<isa::InstructionInstance>& code) override;
     std::vector<std::string> valueNames() const override;
     std::string name() const override { return "SimPowerMeasurement"; }
+
+    std::unique_ptr<Measurement>
+    clone() const override
+    {
+        return std::make_unique<SimPowerMeasurement>(*this);
+    }
 };
 
 /** Die temperature, the i2c-sensor analog (Figure 7). */
@@ -83,6 +89,12 @@ class SimTemperatureMeasurement : public SimMeasurementBase
         return "SimTemperatureMeasurement";
     }
 
+    std::unique_ptr<Measurement>
+    clone() const override
+    {
+        return std::make_unique<SimTemperatureMeasurement>(*this);
+    }
+
     /** Set the transient window programmatically (0 = steady state). */
     void setTransientSeconds(double seconds);
 
@@ -99,6 +111,12 @@ class SimIpcMeasurement : public SimMeasurementBase
         const std::vector<isa::InstructionInstance>& code) override;
     std::vector<std::string> valueNames() const override;
     std::string name() const override { return "SimIpcMeasurement"; }
+
+    std::unique_ptr<Measurement>
+    clone() const override
+    {
+        return std::make_unique<SimIpcMeasurement>(*this);
+    }
 };
 
 /** Peak-to-peak voltage noise, the oscilloscope analog (§VI). */
@@ -115,6 +133,12 @@ class SimVoltageNoiseMeasurement : public SimMeasurementBase
     name() const override
     {
         return "SimVoltageNoiseMeasurement";
+    }
+
+    std::unique_ptr<Measurement>
+    clone() const override
+    {
+        return std::make_unique<SimVoltageNoiseMeasurement>(*this);
     }
 };
 
@@ -136,6 +160,12 @@ class SimCacheMissMeasurement : public SimMeasurementBase
     name() const override
     {
         return "SimCacheMissMeasurement";
+    }
+
+    std::unique_ptr<Measurement>
+    clone() const override
+    {
+        return std::make_unique<SimCacheMissMeasurement>(*this);
     }
 };
 

@@ -53,6 +53,14 @@ NativePerfMeasurement::valueNames() const
     return {"ipc", "instructions_per_second", "package_watts"};
 }
 
+std::unique_ptr<measure::Measurement>
+NativePerfMeasurement::clone() const
+{
+    auto copy = std::make_unique<NativePerfMeasurement>(_lib);
+    copy->_options = _options;
+    return copy;
+}
+
 bool
 NativePerfMeasurement::available()
 {

@@ -45,6 +45,14 @@ class NativePerfMeasurement : public measure::Measurement
         return "NativePerfMeasurement";
     }
 
+    /**
+     * Clone for a parallel-evaluation worker: same emit options, a
+     * fresh NativeRunner (own scratch directory and perf sessions).
+     * Note that concurrent native runs contend for the host's cores,
+     * so IPC readings are only meaningful with threads=1.
+     */
+    std::unique_ptr<measure::Measurement> clone() const override;
+
     /** @return true when this host can run native measurements. */
     static bool available();
 

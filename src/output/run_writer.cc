@@ -1,7 +1,10 @@
 #include "output/run_writer.hh"
 
+#include <fstream>
+
 #include "core/individual.hh"
 #include "util/fileutil.hh"
+#include "util/logging.hh"
 #include "util/strutil.hh"
 
 namespace gest {
@@ -59,6 +62,25 @@ RunWriter::writePopulation(const core::Population& pop)
 }
 
 void
+RunWriter::appendHistory(const core::GenerationRecord& record)
+{
+    const std::string path = _root + "/history.csv";
+    std::ofstream out(path, _historyStarted ? std::ios::app
+                                            : std::ios::trunc);
+    if (!out)
+        fatal("cannot write ", path);
+    if (!_historyStarted) {
+        out << "generation,best_fitness,average_fitness,best_id,"
+               "unique_instructions,diversity,cache_hits,cache_misses\n";
+        _historyStarted = true;
+    }
+    out << record.generation << ',' << record.bestFitness << ','
+        << record.averageFitness << ',' << record.bestId << ','
+        << record.bestUniqueInstructions << ',' << record.diversity
+        << ',' << record.cacheHits << ',' << record.cacheMisses << '\n';
+}
+
+void
 RunWriter::writeRunMetadata(const std::string& config_text,
                             const std::string& template_text)
 {
@@ -72,8 +94,10 @@ core::Engine::GenerationCallback
 RunWriter::callback()
 {
     return [this](const core::Population& pop,
-                  const core::GenerationRecord&) {
+                  const core::GenerationRecord& record) {
         writePopulation(pop);
+        if (_options.writeHistoryCsv)
+            appendHistory(record);
     };
 }
 

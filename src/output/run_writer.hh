@@ -33,6 +33,9 @@ struct RunWriterOptions
     /** Write per-generation population files. */
     bool writePopulations = true;
 
+    /** Append one history.csv row per generation record. */
+    bool writeHistoryCsv = true;
+
     /** Decimal places used for measurements embedded in file names. */
     int measurementPrecision = 2;
 };
@@ -59,6 +62,13 @@ class RunWriter
     /** Record a whole evaluated population (individuals + checkpoint). */
     void writePopulation(const core::Population& pop);
 
+    /**
+     * Append one generation record to `history.csv` (header written on
+     * the first call): fitness, diversity and the fitness-cache
+     * hit/miss counters of that generation.
+     */
+    void appendHistory(const core::GenerationRecord& record);
+
     /** Copy configuration/template text into the run directory. */
     void writeRunMetadata(const std::string& config_text,
                           const std::string& template_text);
@@ -81,6 +91,7 @@ class RunWriter
     const isa::InstructionLibrary& _lib;
     const isa::AsmTemplate* _template;
     RunWriterOptions _options;
+    bool _historyStarted = false;
 };
 
 } // namespace output

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace util {
+
+ThreadPool::ThreadPool(int workers)
+{
+    if (workers < 1)
+        fatal("thread pool needs at least one worker, got ", workers);
+    _threads.reserve(static_cast<std::size_t>(workers));
+    for (int id = 0; id < workers; ++id)
+        _threads.emplace_back([this, id] { workerLoop(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread& thread : _threads)
+        thread.join();
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop(int id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const Task* task = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock,
+                       [&] { return _stop || _jobId != seen; });
+            if (_stop)
+                return;
+            seen = _jobId;
+            task = _task;
+            count = _count;
+        }
+
+        for (;;) {
+            const std::size_t index =
+                _next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= count)
+                break;
+            try {
+                (*task)(index, id);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(_mutex);
+                if (!_error)
+                    _error = std::current_exception();
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (--_active == 0)
+                _done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count, const Task& task)
+{
+    if (count == 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _task = &task;
+    _count = count;
+    _next.store(0, std::memory_order_relaxed);
+    _error = nullptr;
+    _active = _threads.size();
+    ++_jobId;
+    _wake.notify_all();
+    _done.wait(lock, [&] { return _active == 0; });
+    _task = nullptr;
+
+    if (_error) {
+        std::exception_ptr error = _error;
+        _error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace util
+} // namespace gest

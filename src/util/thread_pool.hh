@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small fixed-size thread pool for data-parallel loops.
+ *
+ * Population evaluation is embarrassingly parallel — every individual is
+ * measured independently and results are written back by index — so the
+ * pool deliberately has no work stealing, no futures and no task queue:
+ * one blocking parallelFor() at a time hands out loop indices through an
+ * atomic counter. Workers are started once and reused across calls, so
+ * per-generation dispatch costs two condition-variable round trips, not
+ * N thread spawns.
+ */
+
+#ifndef GEST_UTIL_THREAD_POOL_HH
+#define GEST_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gest {
+namespace util {
+
+/**
+ * Fixed worker count, one parallelFor() in flight at a time. Not
+ * reentrant: calling parallelFor() from inside a task deadlocks.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * A loop body: receives the item index and the id of the worker
+     * executing it (in [0, workers())), so callers can hand each worker
+     * its own private state (e.g. a Measurement clone).
+     */
+    using Task = std::function<void(std::size_t index, int worker)>;
+
+    /** Start @p workers threads; fatal() when workers < 1. */
+    explicit ThreadPool(int workers);
+
+    /** Joins all workers; any in-flight parallelFor must have returned. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    int workers() const { return static_cast<int>(_threads.size()); }
+
+    /**
+     * Run task(i, worker) for every i in [0, count) across the workers
+     * and block until all indices completed. The first exception thrown
+     * by a task is rethrown here after the loop drains; remaining
+     * indices still run (measurements have no ordering side effects).
+     */
+    void parallelFor(std::size_t count, const Task& task);
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop(int id);
+
+    std::vector<std::thread> _threads;
+
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    const Task* _task = nullptr;
+    std::size_t _count = 0;
+    std::atomic<std::size_t> _next{0};
+    std::size_t _active = 0;
+    std::uint64_t _jobId = 0;
+    std::exception_ptr _error;
+    bool _stop = false;
+};
+
+} // namespace util
+} // namespace gest
+
+#endif // GEST_UTIL_THREAD_POOL_HH

@@ -25,6 +25,7 @@
 #include "output/stats.hh"
 #include "platform/platform.hh"
 #include "util/fileutil.hh"
+#include "util/strutil.hh"
 
 namespace {
 
@@ -42,6 +43,8 @@ usage()
         "  gest platforms               list platform presets\n"
         "  gest classes                 list measurement/fitness "
         "classes\n"
+        "options for run: --threads N (override the config's "
+        "evaluation workers)\n"
         "options for stats/fittest: --library arm|x86|cache-stress\n");
     return 2;
 }
@@ -79,13 +82,19 @@ libraryForRun(const std::string& run_dir, const char* override_name)
 }
 
 int
-cmdRun(const std::string& path)
+cmdRun(const std::string& path, const char* threads_override)
 {
-    const config::RunConfig cfg = config::loadConfig(path);
+    config::RunConfig cfg = config::loadConfig(path);
+    if (threads_override) {
+        cfg.ga.threads = static_cast<int>(
+            parseInt(threads_override, "--threads"));
+        cfg.ga.validate();
+    }
     inform("running GA: population ", cfg.ga.populationSize,
            ", individual size ", cfg.ga.individualSize, ", ",
            cfg.ga.generations, " generations, measurement ",
-           cfg.measurementClass, ", fitness ", cfg.fitnessClass);
+           cfg.measurementClass, ", fitness ", cfg.fitnessClass,
+           ", threads ", cfg.ga.threads);
     const config::RunResult result = config::runFromConfig(cfg);
     if (!quiet()) {
         for (const core::GenerationRecord& rec : result.history) {
@@ -112,6 +121,16 @@ cmdRun(const std::string& path)
                     .c_str(),
                 core::uniqueInstructionCount(result.best),
                 static_cast<unsigned long long>(result.evaluations));
+    if (cfg.ga.fitnessCacheSize > 0)
+        std::printf("fitness cache: %llu hits, %llu misses (%.1f%% hit "
+                    "rate)\n",
+                    static_cast<unsigned long long>(result.cacheHits),
+                    static_cast<unsigned long long>(result.cacheMisses),
+                    result.cacheHits + result.cacheMisses > 0
+                        ? 100.0 * static_cast<double>(result.cacheHits) /
+                              static_cast<double>(result.cacheHits +
+                                                  result.cacheMisses)
+                        : 0.0);
     if (!cfg.outputDirectory.empty())
         std::printf("artifacts recorded in %s\n",
                     cfg.outputDirectory.c_str());
@@ -185,13 +204,18 @@ try {
     const std::string command = argv[1];
 
     const char* library_override = nullptr;
+    const char* threads_override = nullptr;
     for (int i = 2; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--library") == 0)
             library_override = argv[i + 1];
+        if (std::strcmp(argv[i], "--threads") == 0)
+            threads_override = argv[i + 1];
     }
+    if (argc > 2 && std::strcmp(argv[argc - 1], "--threads") == 0)
+        fatal("--threads requires a value");
 
     if (command == "run" && argc >= 3)
-        return cmdRun(argv[2]);
+        return cmdRun(argv[2], threads_override);
     if (command == "stats" && argc >= 3)
         return cmdStats(argv[2], library_override);
     if (command == "fittest" && argc >= 3)
