@@ -16,6 +16,7 @@
 #include "pdn/pdn_model.hh"
 #include "platform/platform.hh"
 #include "power/power_model.hh"
+#include "stats/stats.hh"
 #include "xml/xml.hh"
 
 using namespace gest;
@@ -161,6 +162,77 @@ BM_XmlParseConfig(benchmark::State& state)
         benchmark::DoNotOptimize(xml::parse(text));
 }
 BENCHMARK(BM_XmlParseConfig);
+
+// The observability contract: instrumentation costs one relaxed load
+// per site when stats are off. These pin the per-bump and per-timer
+// cost in both states so a regression is visible next to the hot-path
+// numbers above.
+void
+BM_StatsCounterDisabled(benchmark::State& state)
+{
+    stats::setEnabled(false);
+    stats::Counter& ctr = stats::StatsRegistry::instance().counter(
+        "bench.counter", "benchmark counter");
+    for (auto _ : state)
+        ctr.inc();
+}
+BENCHMARK(BM_StatsCounterDisabled);
+
+void
+BM_StatsCounterEnabled(benchmark::State& state)
+{
+    stats::setEnabled(true);
+    stats::Counter& ctr = stats::StatsRegistry::instance().counter(
+        "bench.counter", "benchmark counter");
+    for (auto _ : state)
+        ctr.inc();
+    stats::setEnabled(false);
+}
+BENCHMARK(BM_StatsCounterEnabled);
+
+void
+BM_StatsHistogramEnabled(benchmark::State& state)
+{
+    stats::setEnabled(true);
+    stats::Histogram& hist = stats::StatsRegistry::instance().histogram(
+        "bench.hist", "benchmark histogram", 0.0, 1000.0, 40);
+    double v = 0.0;
+    for (auto _ : state) {
+        hist.sample(v);
+        v += 1.0;
+        if (v >= 1200.0)
+            v = 0.0;
+    }
+    stats::setEnabled(false);
+}
+BENCHMARK(BM_StatsHistogramEnabled);
+
+void
+BM_ScopedTimerDisabled(benchmark::State& state)
+{
+    stats::setEnabled(false);
+    stats::Histogram& hist = stats::StatsRegistry::instance().histogram(
+        "bench.timer", "benchmark timer", 0.0, 1000.0, 40);
+    for (auto _ : state) {
+        stats::ScopedTimer timer(&hist);
+        benchmark::DoNotOptimize(&timer);
+    }
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+void
+BM_ScopedTimerEnabled(benchmark::State& state)
+{
+    stats::setEnabled(true);
+    stats::Histogram& hist = stats::StatsRegistry::instance().histogram(
+        "bench.timer", "benchmark timer", 0.0, 1000.0, 40);
+    for (auto _ : state) {
+        stats::ScopedTimer timer(&hist);
+        benchmark::DoNotOptimize(&timer);
+    }
+    stats::setEnabled(false);
+}
+BENCHMARK(BM_ScopedTimerEnabled);
 
 } // namespace
 

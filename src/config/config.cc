@@ -4,6 +4,8 @@
 #include "isa/standard_libs.hh"
 #include "measure/sim_measurements.hh"
 #include "output/run_writer.hh"
+#include "output/trace_writer.hh"
+#include "stats/stats.hh"
 #include "util/fileutil.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -205,9 +207,19 @@ parseConfig(const std::string& text, const std::string& base_dir,
     load_component("fitness", cfg.fitnessClass, cfg.fitnessDoc,
                    cfg.fitnessConfig);
 
-    if (const xml::Element* out = root.child("output"))
+    if (const xml::Element* out = root.child("output")) {
         cfg.outputDirectory =
             resolvePath(base_dir, out->attr("directory"));
+        if (out->hasAttr("trace")) {
+            const std::string& trace_base = cfg.outputDirectory.empty()
+                                                ? base_dir
+                                                : cfg.outputDirectory;
+            cfg.traceFile = resolvePath(trace_base, out->attr("trace"));
+        }
+        if (out->hasAttr("stats"))
+            cfg.recordStats =
+                parseBool(out->attr("stats"), "output stats");
+    }
     if (const xml::Element* seed = root.child("seed_population"))
         cfg.seedPopulationPath =
             resolvePath(base_dir, seed->attr("file"));
@@ -262,6 +274,21 @@ runFromConfig(const RunConfig& cfg)
         engine.setSeedPopulation(
             core::loadPopulation(cfg.library, cfg.seedPopulationPath));
 
+    // Observability: stats on by default (the per-sample cost is atomic
+    // bumps and clock reads, invisible next to simulation); each run
+    // starts from zeroed values so artifacts describe this run only.
+    const bool stats_were_enabled = stats::enabled();
+    if (cfg.recordStats) {
+        stats::StatsRegistry::instance().resetValues();
+        stats::setEnabled(true);
+    }
+
+    std::unique_ptr<output::TraceWriter> trace;
+    if (!cfg.traceFile.empty()) {
+        trace = std::make_unique<output::TraceWriter>(cfg.traceFile);
+        engine.setTraceWriter(trace.get());
+    }
+
     std::unique_ptr<output::RunWriter> writer;
     if (!cfg.outputDirectory.empty()) {
         writer = std::make_unique<output::RunWriter>(
@@ -270,6 +297,7 @@ runFromConfig(const RunConfig& cfg)
         writer->writeRunMetadata(
             cfg.rawText,
             cfg.asmTemplate ? cfg.asmTemplate->text() : "");
+        writer->setTraceWriter(trace.get());
         engine.setGenerationCallback(writer->callback());
     }
 
@@ -282,6 +310,21 @@ runFromConfig(const RunConfig& cfg)
     result.evaluations = engine.evaluations();
     result.cacheHits = engine.cacheHits();
     result.cacheMisses = engine.cacheMisses();
+
+    if (trace) {
+        trace->finish();
+        result.traceFile = cfg.traceFile;
+    }
+    if (cfg.recordStats && !cfg.outputDirectory.empty()) {
+        writeFile(cfg.outputDirectory + "/stats.txt",
+                  stats::StatsRegistry::instance().textDump());
+        writeFile(cfg.outputDirectory + "/metrics.json",
+                  stats::StatsRegistry::instance().jsonDump());
+        debug("stats recorded in ", cfg.outputDirectory,
+              "/stats.txt and metrics.json");
+    }
+    if (cfg.recordStats)
+        stats::setEnabled(stats_were_enabled);
     return result;
 }
 

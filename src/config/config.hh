@@ -67,6 +67,21 @@ struct RunConfig
     std::string seedPopulationPath;   ///< empty: random seed population
     std::optional<isa::AsmTemplate> asmTemplate;
 
+    /**
+     * Chrome-trace output path (<output trace="..."> or the CLI's
+     * --trace). Empty: no trace. A relative path resolves against the
+     * output directory when one is set, else against the config's
+     * directory.
+     */
+    std::string traceFile;
+
+    /**
+     * Record run statistics (<output stats="...">, default true): the
+     * stats registry is enabled for the run and stats.txt +
+     * metrics.json are written into the output directory.
+     */
+    bool recordStats = true;
+
     /** Raw main-configuration text (record keeping). */
     std::string rawText;
 
@@ -118,6 +133,9 @@ struct RunResult
     /** Fitness-cache totals (zero when the cache is disabled). */
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+
+    /** Path of the written Chrome trace (empty when tracing was off). */
+    std::string traceFile;
 };
 
 /**

@@ -1,11 +1,76 @@
 #include "core/engine.hh"
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "output/trace_writer.hh"
+#include "stats/stats.hh"
 #include "util/logging.hh"
+#include "util/strutil.hh"
 
 namespace gest {
 namespace core {
+
+namespace {
+
+/**
+ * Engine-wide stat handles, resolved once: hot paths hold references
+ * instead of re-hashing names in the registry per sample.
+ */
+struct EngineStats
+{
+    stats::Counter& generations;
+    stats::Counter& evaluations;
+    stats::Counter& cacheHits;
+    stats::Counter& cacheMisses;
+    stats::Histogram& evalUs;
+    stats::Histogram& cacheHitUs;
+    stats::Histogram& cacheMissUs;
+    stats::Histogram& selectionUs;
+    stats::Histogram& crossoverUs;
+    stats::Histogram& mutationUs;
+    stats::Histogram& generationEvalUs;
+};
+
+EngineStats&
+engineStats()
+{
+    static EngineStats s{
+        stats::StatsRegistry::instance().counter(
+            "engine.generations", "generations evaluated"),
+        stats::StatsRegistry::instance().counter(
+            "engine.evaluations", "measurements performed"),
+        stats::StatsRegistry::instance().counter(
+            "engine.cache.hits", "evaluations satisfied by the cache"),
+        stats::StatsRegistry::instance().counter(
+            "engine.cache.misses", "evaluations that ran the measurement"),
+        stats::StatsRegistry::instance().histogram(
+            "engine.eval_us", "one measurement + fitness scoring (us)",
+            0.0, 20000.0, 40),
+        stats::StatsRegistry::instance().histogram(
+            "engine.cache.hit_us", "fitness-cache hit latency (us)", 0.0,
+            50.0, 25),
+        stats::StatsRegistry::instance().histogram(
+            "engine.cache.miss_us", "fitness-cache miss latency (us)",
+            0.0, 50.0, 25),
+        stats::StatsRegistry::instance().histogram(
+            "engine.selection_us", "parent selection per generation (us)",
+            0.0, 20000.0, 40),
+        stats::StatsRegistry::instance().histogram(
+            "engine.crossover_us", "crossover per generation (us)", 0.0,
+            20000.0, 40),
+        stats::StatsRegistry::instance().histogram(
+            "engine.mutation_us", "mutation per generation (us)", 0.0,
+            20000.0, 40),
+        stats::StatsRegistry::instance().histogram(
+            "engine.generation_eval_us",
+            "whole-population evaluation per generation (us)", 0.0,
+            2000000.0, 40),
+    };
+    return s;
+}
+
+} // namespace
 
 Engine::Engine(GaParams params, const isa::InstructionLibrary& lib,
                measure::Measurement& measurement,
@@ -49,6 +114,20 @@ Engine::setGenerationCallback(GenerationCallback callback)
     _callback = std::move(callback);
 }
 
+void
+Engine::setTraceWriter(output::TraceWriter* trace)
+{
+    _trace = trace;
+    if (_trace)
+        _trace->setThreadName(0, util::ThreadPool::workerName(-1));
+}
+
+bool
+Engine::timed() const
+{
+    return stats::enabled() || _trace != nullptr;
+}
+
 Individual
 Engine::randomIndividual()
 {
@@ -72,6 +151,28 @@ Engine::measureOne(Individual& ind,
 }
 
 void
+Engine::measureOneTimed(Individual& ind,
+                        measure::Measurement& measurement, int worker)
+{
+    const double start = stats::nowUs();
+    measureOne(ind, measurement);
+    const double elapsed = stats::nowUs() - start;
+    engineStats().evalUs.sample(elapsed);
+    // Disjoint per-worker slots: each is touched only by the thread
+    // owning that worker id (slot 0 doubles as the serial path's).
+    _workerBusyUs[static_cast<std::size_t>(std::max(worker, 0))] +=
+        elapsed;
+    if (_trace) {
+        // Serial measurements run on the coordinator (tid 0); pool
+        // workers occupy tids 1..N.
+        const int tid = util::ThreadPool::currentWorkerId() + 1;
+        _trace->completeEvent("evaluate", "eval", tid, start, elapsed,
+                              {{"individual",
+                                static_cast<double>(ind.id)}});
+    }
+}
+
+void
 Engine::ensureWorkers()
 {
     if (_pool)
@@ -88,6 +189,11 @@ Engine::ensureWorkers()
         _workerMeasurements.push_back(std::move(clone));
     }
     _pool = std::make_unique<util::ThreadPool>(workers);
+    debug("evaluation pool started with ", workers, " workers");
+    if (_trace) {
+        for (int w = 0; w < workers; ++w)
+            _trace->setThreadName(w + 1, util::ThreadPool::workerName(w));
+    }
 }
 
 void
@@ -95,26 +201,55 @@ Engine::measureBatch(const std::vector<std::size_t>& indices)
 {
     if (indices.empty())
         return;
+    const bool record = timed();
+    if (record)
+        _workerBusyUs.assign(
+            static_cast<std::size_t>(std::max(_params.threads, 1)), 0.0);
     std::vector<Individual>& inds = _population.individuals;
     if (_params.threads <= 1 || indices.size() == 1) {
-        for (std::size_t index : indices)
-            measureOne(inds[index], _measurement);
+        for (std::size_t index : indices) {
+            if (record)
+                measureOneTimed(inds[index], _measurement, 0);
+            else
+                measureOne(inds[index], _measurement);
+        }
     } else {
         ensureWorkers();
         _pool->parallelFor(
             indices.size(), [&](std::size_t k, int worker) {
-                measureOne(inds[indices[k]],
-                           *_workerMeasurements[static_cast<std::size_t>(
-                               worker)]);
+                if (record)
+                    measureOneTimed(inds[indices[k]],
+                                    *_workerMeasurements[
+                                        static_cast<std::size_t>(worker)],
+                                    worker);
+                else
+                    measureOne(inds[indices[k]],
+                               *_workerMeasurements[
+                                   static_cast<std::size_t>(worker)]);
             });
     }
     _evaluations += indices.size();
+    engineStats().evaluations.inc(indices.size());
+    if (record) {
+        // Publish per-worker busy time so pool utilization/imbalance is
+        // visible in stats.txt and metrics.json.
+        for (std::size_t w = 0; w < _workerBusyUs.size(); ++w) {
+            if (_workerBusyUs[w] > 0.0)
+                stats::StatsRegistry::instance()
+                    .counter("engine.worker." + std::to_string(w) +
+                                 ".busy_us",
+                             "evaluation busy time of this worker (us)")
+                    .inc(static_cast<std::uint64_t>(_workerBusyUs[w]));
+        }
+    }
 }
 
 void
 Engine::evaluatePopulation()
 {
     std::vector<Individual>& inds = _population.individuals;
+    const bool record = timed();
+    const double evalStart = record ? stats::nowUs() : 0.0;
 
     // Resolve cache hits and fold in-generation duplicate genomes onto
     // one representative each, so nothing redundant reaches the
@@ -133,7 +268,18 @@ Engine::evaluatePopulation()
             toMeasure.push_back(i);
             continue;
         }
-        if (const FitnessCache::Entry* entry = _cache->lookup(ind.code)) {
+        const FitnessCache::Entry* entry;
+        if (record) {
+            const double lookupStart = stats::nowUs();
+            entry = _cache->lookup(ind.code);
+            const double lookupUs = stats::nowUs() - lookupStart;
+            (entry ? engineStats().cacheHitUs
+                   : engineStats().cacheMissUs)
+                .sample(lookupUs);
+        } else {
+            entry = _cache->lookup(ind.code);
+        }
+        if (entry) {
             ind.measurements = entry->measurements;
             ind.fitness = entry->fitness;
             ind.evaluated = true;
@@ -176,6 +322,9 @@ Engine::evaluatePopulation()
     }
     _cacheHits += hits;
     _cacheMisses += toMeasure.size();
+    engineStats().cacheHits.inc(hits);
+    engineStats().cacheMisses.inc(toMeasure.size());
+    engineStats().generations.inc();
 
     const Individual& best = _population.best();
     // Copy into _bestEver only on strict improvement: with elitism the
@@ -184,20 +333,45 @@ Engine::evaluatePopulation()
     if (!_bestEver || best.fitness > _bestEver->fitness)
         _bestEver = best;
 
-    GenerationRecord record;
-    record.generation = _population.generation;
-    record.bestFitness = best.fitness;
-    record.averageFitness = _population.averageFitness();
-    record.bestId = best.id;
-    record.bestUniqueInstructions = uniqueInstructionCount(best);
-    record.bestBreakdown = classBreakdown(_lib, best);
-    record.diversity = _population.genotypeDiversity();
-    record.cacheHits = hits;
-    record.cacheMisses = toMeasure.size();
-    _history.push_back(record);
+    GenerationRecord generationRecord;
+    generationRecord.generation = _population.generation;
+    generationRecord.bestFitness = best.fitness;
+    generationRecord.averageFitness = _population.averageFitness();
+    generationRecord.bestId = best.id;
+    generationRecord.bestUniqueInstructions =
+        uniqueInstructionCount(best);
+    generationRecord.bestBreakdown = classBreakdown(_lib, best);
+    generationRecord.diversity = _population.genotypeDiversity();
+    generationRecord.cacheHits = hits;
+    generationRecord.cacheMisses = toMeasure.size();
+    if (record) {
+        const double evalUs = stats::nowUs() - evalStart;
+        engineStats().generationEvalUs.sample(evalUs);
+        engineStats().selectionUs.sample(_breedTiming.selectionUs);
+        engineStats().crossoverUs.sample(_breedTiming.crossoverUs);
+        engineStats().mutationUs.sample(_breedTiming.mutationUs);
+        generationRecord.selectionMs = _breedTiming.selectionUs / 1000.0;
+        generationRecord.crossoverMs = _breedTiming.crossoverUs / 1000.0;
+        generationRecord.mutationMs = _breedTiming.mutationUs / 1000.0;
+        generationRecord.evaluationMs = evalUs / 1000.0;
+        _breedTiming = {};
+        if (_trace) {
+            _trace->completeEvent(
+                "evaluate population", "phase", 0, evalStart, evalUs,
+                {{"generation",
+                  static_cast<double>(_population.generation)},
+                 {"measured", static_cast<double>(toMeasure.size())},
+                 {"cache_hits", static_cast<double>(hits)}});
+        }
+        debug("generation ", _population.generation, ": best ",
+              best.fitness, ", ", toMeasure.size(), " measured, ", hits,
+              " cache hits, evaluation ",
+              formatFixed(generationRecord.evaluationMs, 2), " ms");
+    }
+    _history.push_back(generationRecord);
 
     if (_callback)
-        _callback(_population, record);
+        _callback(_population, generationRecord);
 }
 
 void
@@ -236,6 +410,10 @@ Engine::initialize()
 Population
 Engine::breed()
 {
+    const bool record = timed();
+    const double breedStart = record ? stats::nowUs() : 0.0;
+    _breedTiming = {};
+
     Population next;
     next.generation = _population.generation + 1;
     next.individuals.reserve(
@@ -249,21 +427,36 @@ Engine::breed()
 
     while (static_cast<int>(next.individuals.size()) <
            _params.populationSize) {
+        const double mark0 = record ? stats::nowUs() : 0.0;
         const Individual& p1 =
             _population.individuals[selectParent(_population, _params,
                                                  _rng)];
         const Individual& p2 =
             _population.individuals[selectParent(_population, _params,
                                                  _rng)];
+        const double mark1 = record ? stats::nowUs() : 0.0;
         auto [c1, c2] = crossover(p1, p2, _params, _rng);
+        const double mark2 = record ? stats::nowUs() : 0.0;
         mutate(c1, _lib, _params, _rng);
         mutate(c2, _lib, _params, _rng);
+        if (record) {
+            const double mark3 = stats::nowUs();
+            _breedTiming.selectionUs += mark1 - mark0;
+            _breedTiming.crossoverUs += mark2 - mark1;
+            _breedTiming.mutationUs += mark3 - mark2;
+        }
         c1.id = _nextId++;
         c2.id = _nextId++;
         next.individuals.push_back(std::move(c1));
         if (static_cast<int>(next.individuals.size()) <
             _params.populationSize)
             next.individuals.push_back(std::move(c2));
+    }
+    if (_trace) {
+        _trace->completeEvent(
+            "breed", "phase", 0, breedStart,
+            stats::nowUs() - breedStart,
+            {{"generation", static_cast<double>(next.generation)}});
     }
     return next;
 }

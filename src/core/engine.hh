@@ -22,6 +22,11 @@
 #include "util/thread_pool.hh"
 
 namespace gest {
+
+namespace output {
+class TraceWriter;
+} // namespace output
+
 namespace core {
 
 /** Per-generation summary appended to the engine's history. */
@@ -46,6 +51,17 @@ struct GenerationRecord
 
     /** Measurements actually performed this generation. */
     std::uint64_t cacheMisses = 0;
+
+    /**
+     * Per-phase wall-clock milliseconds for this generation. All zero
+     * unless stats recording (stats::setEnabled) or a trace writer is
+     * active when the generation runs — timing the phases costs clock
+     * reads the untimed hot path must not pay.
+     */
+    double selectionMs = 0.0;   ///< parent selection inside breed()
+    double crossoverMs = 0.0;   ///< crossover inside breed()
+    double mutationMs = 0.0;    ///< mutation inside breed()
+    double evaluationMs = 0.0;  ///< cache resolution + measurements
 };
 
 /**
@@ -72,6 +88,15 @@ class Engine
 
     /** Install a per-generation observer (progress logs, output files). */
     void setGenerationCallback(GenerationCallback callback);
+
+    /**
+     * Attach a Chrome-trace writer (may be null to detach). The engine
+     * emits one complete event per generation phase on tid 0 and one
+     * per measurement on the worker's tid (worker id + 1); attaching a
+     * writer also turns on per-phase timing even when stats are
+     * globally disabled. The writer must outlive the engine.
+     */
+    void setTraceWriter(output::TraceWriter* trace);
 
     /** Create and evaluate generation 0. */
     void initialize();
@@ -124,6 +149,16 @@ class Engine
                     measure::Measurement& measurement) const;
 
     /**
+     * @return true when the engine should read clocks: stats recording
+     * is on or a trace writer is attached.
+     */
+    bool timed() const;
+
+    /** measureOne plus timing/trace bookkeeping for worker @p worker. */
+    void measureOneTimed(Individual& ind,
+                         measure::Measurement& measurement, int worker);
+
+    /**
      * Measure the individuals at @p indices, serially or fanned out
      * across the worker pool. Results are written back by index, so
      * the outcome is independent of scheduling order for measurements
@@ -165,6 +200,26 @@ class Engine
     std::unique_ptr<FitnessCache> _cache;
     std::uint64_t _cacheHits = 0;
     std::uint64_t _cacheMisses = 0;
+
+    /** Chrome-trace sink (null when tracing is off). */
+    output::TraceWriter* _trace = nullptr;
+
+    /** Phase timings accumulated by breed(), consumed by the record. */
+    struct BreedTiming
+    {
+        double selectionUs = 0.0;
+        double crossoverUs = 0.0;
+        double mutationUs = 0.0;
+    };
+    BreedTiming _breedTiming;
+
+    /**
+     * Per-worker busy microseconds within the current generation. Each
+     * slot is written only by the worker owning that id (disjoint
+     * writes, no atomics needed); the coordinator reads after the
+     * parallelFor barrier.
+     */
+    std::vector<double> _workerBusyUs;
 };
 
 } // namespace core

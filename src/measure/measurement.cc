@@ -40,8 +40,10 @@ MeasurementRegistry::create(const std::string& name,
                             const isa::InstructionLibrary& lib) const
 {
     for (const auto& [registered, factory] : _factories) {
-        if (registered == name)
+        if (registered == name) {
+            debug("instantiating measurement '", name, "'");
             return factory(lib);
+        }
     }
     fatal("unknown measurement class '", name, "'; available: ",
           [this] {

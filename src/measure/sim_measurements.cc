@@ -1,5 +1,6 @@
 #include "measure/sim_measurements.hh"
 
+#include "stats/stats.hh"
 #include "thermal/thermal_model.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -45,7 +46,28 @@ SimMeasurementBase::evaluate(
     const std::vector<isa::InstructionInstance>& code,
     bool want_voltage) const
 {
-    return platform().evaluate(code, _lib, want_voltage, _minCycles);
+    platform::Evaluation eval =
+        platform().evaluate(code, _lib, want_voltage, _minCycles);
+    if (stats::enabled()) {
+        // Every Sim* measurement funnels through here, so these cover
+        // the whole simulated-target family: how much micro-architec-
+        // tural work each 5-second "hardware measurement" stands for.
+        static stats::Counter& evaluations =
+            stats::StatsRegistry::instance().counter(
+                "measure.sim.evaluations",
+                "simulated-platform measurements");
+        static stats::Counter& cycles =
+            stats::StatsRegistry::instance().counter(
+                "measure.sim.cycles", "simulated cycles");
+        static stats::Histogram& ipc =
+            stats::StatsRegistry::instance().histogram(
+                "measure.sim.ipc", "IPC of measured individuals", 0.0,
+                8.0, 32);
+        evaluations.inc();
+        cycles.inc(eval.sim.cycles);
+        ipc.sample(eval.sim.ipc);
+    }
+    return eval;
 }
 
 MeasurementResult

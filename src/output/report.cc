@@ -1,0 +1,247 @@
+#include "output/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace output {
+
+namespace {
+
+/** Column index by header name, or -1 when this file predates it. */
+int
+columnIndex(const std::vector<std::string>& header,
+            const std::string& name)
+{
+    const auto it = std::find(header.begin(), header.end(), name);
+    return it == header.end()
+               ? -1
+               : static_cast<int>(it - header.begin());
+}
+
+double
+field(const std::vector<std::string>& fields, int index,
+      const std::string& what, int line)
+{
+    if (index < 0)
+        return 0.0;
+    return parseDouble(fields[static_cast<std::size_t>(index)],
+                       detail::concat(what, " (history.csv line ", line,
+                                      ")"));
+}
+
+} // namespace
+
+double
+RunReport::cacheHitRate() const
+{
+    const double total =
+        static_cast<double>(totalMeasured + totalCacheHits);
+    return total == 0.0 ? 0.0
+                        : static_cast<double>(totalCacheHits) / total;
+}
+
+double
+RunReport::evaluationsPerSecond() const
+{
+    if (!hasTimings || evaluationMs <= 0.0)
+        return 0.0;
+    return static_cast<double>(totalMeasured) / (evaluationMs / 1000.0);
+}
+
+RunReport
+analyzeRun(const std::string& run_dir)
+{
+    if (!dirExists(run_dir))
+        fatal("run directory '", run_dir, "' does not exist");
+    const std::string path = run_dir + "/history.csv";
+    std::string text;
+    if (!tryReadFile(path, text))
+        fatal("no history.csv in '", run_dir,
+              "' — is this a gest run directory? Pass the directory "
+              "named by <output directory=\"...\"> (runs without an "
+              "<output> element record no history)");
+
+    RunReport report;
+    report.runDir = run_dir;
+
+    std::vector<std::string> header;
+    int selection = -1, crossoverCol = -1, mutationCol = -1;
+    int evaluation = -1, io = -1;
+    int generation = -1, bestF = -1, avgF = -1, div = -1, hits = -1,
+        misses = -1;
+
+    int line_number = 0;
+    for (const std::string& raw : split(text, '\n')) {
+        ++line_number;
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        if (line.front() == '#') {
+            // `# gest-history v<N>` — anything else is a plain comment.
+            const std::vector<std::string> words = splitWhitespace(line);
+            if (words.size() >= 2 && words[1] == "gest-history" &&
+                words.size() >= 3 && words[2].size() > 1 &&
+                words[2].front() == 'v') {
+                report.historyVersion = static_cast<int>(
+                    parseInt(words[2].substr(1), "history version"));
+            }
+            continue;
+        }
+        if (header.empty()) {
+            header = split(line, ',');
+            if (columnIndex(header, "generation") != 0)
+                fatal("'", path, "' does not look like a gest history "
+                      "file: expected a header starting with "
+                      "'generation', got '", line, "'");
+            generation = columnIndex(header, "generation");
+            bestF = columnIndex(header, "best_fitness");
+            avgF = columnIndex(header, "average_fitness");
+            div = columnIndex(header, "diversity");
+            hits = columnIndex(header, "cache_hits");
+            misses = columnIndex(header, "cache_misses");
+            selection = columnIndex(header, "selection_ms");
+            crossoverCol = columnIndex(header, "crossover_ms");
+            mutationCol = columnIndex(header, "mutation_ms");
+            evaluation = columnIndex(header, "evaluation_ms");
+            io = columnIndex(header, "io_ms");
+            report.hasTimings = evaluation >= 0;
+            continue;
+        }
+        const std::vector<std::string> fields = split(line, ',');
+        if (fields.size() < header.size())
+            fatal("'", path, "' is truncated at line ", line_number,
+                  " (", fields.size(), " of ", header.size(),
+                  " columns): the run may have been interrupted "
+                  "mid-write; delete that line to summarize the "
+                  "completed generations");
+        HistoryRow row;
+        row.generation = static_cast<int>(
+            field(fields, generation, "generation", line_number));
+        row.bestFitness =
+            field(fields, bestF, "best_fitness", line_number);
+        row.averageFitness =
+            field(fields, avgF, "average_fitness", line_number);
+        row.diversity = field(fields, div, "diversity", line_number);
+        row.cacheHits = static_cast<std::uint64_t>(
+            field(fields, hits, "cache_hits", line_number));
+        row.cacheMisses = static_cast<std::uint64_t>(
+            field(fields, misses, "cache_misses", line_number));
+        row.selectionMs =
+            field(fields, selection, "selection_ms", line_number);
+        row.crossoverMs =
+            field(fields, crossoverCol, "crossover_ms", line_number);
+        row.mutationMs =
+            field(fields, mutationCol, "mutation_ms", line_number);
+        row.evaluationMs =
+            field(fields, evaluation, "evaluation_ms", line_number);
+        row.ioMs = field(fields, io, "io_ms", line_number);
+        report.rows.push_back(row);
+    }
+
+    if (header.empty())
+        fatal("'", path, "' is empty — the run has not written its "
+              "header yet (or the file was clobbered); rerun or wait "
+              "for the first generation to complete");
+    if (report.rows.empty())
+        fatal("'", path, "' contains no generation rows yet — the run "
+              "has not completed generation 0; retry once it has");
+
+    report.firstBest = report.rows.front().bestFitness;
+    report.finalAverage = report.rows.back().averageFitness;
+    report.finalDiversity = report.rows.back().diversity;
+    for (const HistoryRow& row : report.rows) {
+        if (row.bestFitness > report.bestFitness ||
+            &row == &report.rows.front()) {
+            report.bestFitness = row.bestFitness;
+            report.bestGeneration = row.generation;
+        }
+        report.totalMeasured += row.cacheMisses;
+        report.totalCacheHits += row.cacheHits;
+        report.selectionMs += row.selectionMs;
+        report.crossoverMs += row.crossoverMs;
+        report.mutationMs += row.mutationMs;
+        report.evaluationMs += row.evaluationMs;
+        report.ioMs += row.ioMs;
+    }
+    return report;
+}
+
+std::string
+formatReport(const RunReport& report)
+{
+    std::ostringstream os;
+    char buf[256];
+
+    os << "run: " << report.runDir << " (history v"
+       << report.historyVersion << ", " << report.rows.size()
+       << " generations)\n";
+
+    std::snprintf(buf, sizeof(buf),
+                  "fitness: first-gen best %.6f -> best %.6f at "
+                  "generation %d",
+                  report.firstBest, report.bestFitness,
+                  report.bestGeneration);
+    os << buf;
+    if (report.firstBest > 0.0) {
+        std::snprintf(buf, sizeof(buf), " (%+.1f%%)",
+                      100.0 * (report.bestFitness - report.firstBest) /
+                          report.firstBest);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\n         final average %.6f, final diversity %.3f\n",
+                  report.finalAverage, report.finalDiversity);
+    os << buf;
+
+    std::snprintf(buf, sizeof(buf),
+                  "evaluations: %llu measured, %llu cache hits "
+                  "(%.1f%% hit rate)\n",
+                  static_cast<unsigned long long>(report.totalMeasured),
+                  static_cast<unsigned long long>(report.totalCacheHits),
+                  100.0 * report.cacheHitRate());
+    os << buf;
+
+    if (!report.hasTimings) {
+        os << "phase breakdown: n/a — this history.csv predates the "
+              "timing columns (v2); rerun with a current build to "
+              "record them\n";
+        return os.str();
+    }
+
+    const double eps = report.evaluationsPerSecond();
+    if (eps > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      "throughput: %.0f evaluations/sec (over %.2f s "
+                      "of evaluation time)\n",
+                      eps, report.evaluationMs / 1000.0);
+        os << buf;
+    } else {
+        os << "throughput: n/a — no timed evaluation recorded (run "
+              "with stats enabled)\n";
+    }
+
+    const double total = report.selectionMs + report.crossoverMs +
+                         report.mutationMs + report.evaluationMs +
+                         report.ioMs;
+    os << "phase breakdown (totals across the run):\n";
+    auto phase = [&](const char* name, double ms) {
+        std::snprintf(buf, sizeof(buf), "  %-12s %10.1f ms  (%5.1f%%)\n",
+                      name, ms, total > 0.0 ? 100.0 * ms / total : 0.0);
+        os << buf;
+    };
+    phase("selection", report.selectionMs);
+    phase("crossover", report.crossoverMs);
+    phase("mutation", report.mutationMs);
+    phase("evaluation", report.evaluationMs);
+    phase("output I/O", report.ioMs);
+    return os.str();
+}
+
+} // namespace output
+} // namespace gest

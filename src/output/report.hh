@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Run-summary analysis behind `gest report <run_dir>`.
+ *
+ * Works from `history.csv` alone, so it summarizes both finished and
+ * in-flight runs (the RunWriter appends one complete row per
+ * generation). The parser is header-driven and tolerant of version
+ * drift: v1 files (pre-timing columns) report everything except the
+ * phase breakdown, and columns appended by future versions are
+ * ignored. Malformed or truncated files fatal() with an actionable
+ * message instead of crashing or mis-summarizing.
+ */
+
+#ifndef GEST_OUTPUT_REPORT_HH
+#define GEST_OUTPUT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gest {
+namespace output {
+
+/** One parsed history.csv row (absent columns stay 0). */
+struct HistoryRow
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    double averageFitness = 0.0;
+    double diversity = 0.0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    double selectionMs = 0.0;
+    double crossoverMs = 0.0;
+    double mutationMs = 0.0;
+    double evaluationMs = 0.0;
+    double ioMs = 0.0;
+};
+
+/** Everything `gest report` prints, in analyzable form. */
+struct RunReport
+{
+    std::string runDir;
+
+    /** Version from the `# gest-history v<N>` comment (1 if absent). */
+    int historyVersion = 1;
+
+    /** True when the file carries the v2 per-phase timing columns. */
+    bool hasTimings = false;
+
+    std::vector<HistoryRow> rows;
+
+    // Fitness trajectory.
+    double firstBest = 0.0;
+    double bestFitness = 0.0;
+    int bestGeneration = 0;
+    double finalAverage = 0.0;
+    double finalDiversity = 0.0;
+
+    // Work accounting.
+    std::uint64_t totalMeasured = 0;   ///< sum of cache_misses
+    std::uint64_t totalCacheHits = 0;  ///< sum of cache_hits
+
+    // Phase totals in milliseconds (zero without timing columns).
+    double selectionMs = 0.0;
+    double crossoverMs = 0.0;
+    double mutationMs = 0.0;
+    double evaluationMs = 0.0;
+    double ioMs = 0.0;
+
+    /** Cache hit rate in [0, 1]. */
+    double cacheHitRate() const;
+
+    /** Measurements per second of evaluation time; 0 if unknown. */
+    double evaluationsPerSecond() const;
+};
+
+/**
+ * Parse @p run_dir/history.csv into a report. fatal() when the
+ * directory or file is missing, holds no generation rows, or a row is
+ * truncated/malformed.
+ */
+RunReport analyzeRun(const std::string& run_dir);
+
+/** Render the report as the text `gest report` prints. */
+std::string formatReport(const RunReport& report);
+
+} // namespace output
+} // namespace gest
+
+#endif // GEST_OUTPUT_REPORT_HH

@@ -3,6 +3,8 @@
 #include <fstream>
 
 #include "core/individual.hh"
+#include "output/trace_writer.hh"
+#include "stats/stats.hh"
 #include "util/fileutil.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -62,7 +64,8 @@ RunWriter::writePopulation(const core::Population& pop)
 }
 
 void
-RunWriter::appendHistory(const core::GenerationRecord& record)
+RunWriter::appendHistory(const core::GenerationRecord& record,
+                         double io_ms)
 {
     const std::string path = _root + "/history.csv";
     std::ofstream out(path, _historyStarted ? std::ios::app
@@ -70,14 +73,24 @@ RunWriter::appendHistory(const core::GenerationRecord& record)
     if (!out)
         fatal("cannot write ", path);
     if (!_historyStarted) {
+        // Forward compatibility contract: the version comment is for
+        // humans and tools; parsers must key on the header row, whose
+        // column order is append-only across versions (gest report
+        // reads v1 files with no timing columns just as well).
+        out << "# gest-history v" << historyCsvVersion << "\n";
         out << "generation,best_fitness,average_fitness,best_id,"
-               "unique_instructions,diversity,cache_hits,cache_misses\n";
+               "unique_instructions,diversity,cache_hits,cache_misses,"
+               "selection_ms,crossover_ms,mutation_ms,evaluation_ms,"
+               "io_ms\n";
         _historyStarted = true;
     }
     out << record.generation << ',' << record.bestFitness << ','
         << record.averageFitness << ',' << record.bestId << ','
         << record.bestUniqueInstructions << ',' << record.diversity
-        << ',' << record.cacheHits << ',' << record.cacheMisses << '\n';
+        << ',' << record.cacheHits << ',' << record.cacheMisses << ','
+        << record.selectionMs << ',' << record.crossoverMs << ','
+        << record.mutationMs << ',' << record.evaluationMs << ','
+        << io_ms << '\n';
 }
 
 void
@@ -93,11 +106,29 @@ RunWriter::writeRunMetadata(const std::string& config_text,
 core::Engine::GenerationCallback
 RunWriter::callback()
 {
+    static stats::Histogram& ioUs =
+        stats::StatsRegistry::instance().histogram(
+            "output.io_us", "run-directory writes per generation (us)",
+            0.0, 100000.0, 40);
     return [this](const core::Population& pop,
                   const core::GenerationRecord& record) {
+        const bool record_io = stats::enabled() || _trace;
+        const double start = record_io ? stats::nowUs() : 0.0;
         writePopulation(pop);
+        double io_ms = 0.0;
+        if (record_io) {
+            const double elapsed = stats::nowUs() - start;
+            ioUs.sample(elapsed);
+            io_ms = elapsed / 1000.0;
+            if (_trace) {
+                _trace->completeEvent(
+                    "write run dir", "io", 0, start, elapsed,
+                    {{"generation",
+                      static_cast<double>(pop.generation)}});
+            }
+        }
         if (_options.writeHistoryCsv)
-            appendHistory(record);
+            appendHistory(record, io_ms);
     };
 }
 

@@ -24,6 +24,18 @@
 namespace gest {
 namespace output {
 
+class TraceWriter;
+
+/**
+ * history.csv format version written by this build. The first line of
+ * the file is `# gest-history v<N>`; columns are strictly append-only
+ * across versions so both old files and old readers keep working:
+ *
+ *  v1 (implicit, no version comment): generation..cache_misses
+ *  v2: + selection_ms, crossover_ms, mutation_ms, evaluation_ms, io_ms
+ */
+constexpr int historyCsvVersion = 2;
+
 /** Options controlling what a RunWriter records. */
 struct RunWriterOptions
 {
@@ -63,11 +75,22 @@ class RunWriter
     void writePopulation(const core::Population& pop);
 
     /**
-     * Append one generation record to `history.csv` (header written on
-     * the first call): fitness, diversity and the fitness-cache
-     * hit/miss counters of that generation.
+     * Append one generation record to `history.csv` (version comment
+     * and header written on the first call): fitness, diversity, the
+     * fitness-cache hit/miss counters and the per-phase milliseconds
+     * of that generation. @p io_ms is the time this writer spent
+     * recording the generation's artifacts (callback() fills it in;
+     * direct callers may pass 0).
      */
-    void appendHistory(const core::GenerationRecord& record);
+    void appendHistory(const core::GenerationRecord& record,
+                       double io_ms = 0.0);
+
+    /**
+     * Attach a Chrome-trace writer (may be null): callback() then
+     * emits one "write run dir" span per generation on tid 0. The
+     * writer must outlive this RunWriter.
+     */
+    void setTraceWriter(TraceWriter* trace) { _trace = trace; }
 
     /** Copy configuration/template text into the run directory. */
     void writeRunMetadata(const std::string& config_text,
@@ -92,6 +115,7 @@ class RunWriter
     const isa::AsmTemplate* _template;
     RunWriterOptions _options;
     bool _historyStarted = false;
+    TraceWriter* _trace = nullptr;
 };
 
 } // namespace output

@@ -1,0 +1,278 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/strutil.hh"
+
+namespace gest {
+namespace stats {
+
+namespace detail {
+std::atomic<bool> enabledFlag{false};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::enabledFlag.store(on, std::memory_order_relaxed);
+}
+
+double
+nowUs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+        .count();
+}
+
+namespace {
+
+/** Relaxed CAS update keeping the extremum of @p current and @p v. */
+template <typename Cmp>
+void
+updateExtremum(std::atomic<double>& current, double v, Cmp better)
+{
+    double seen = current.load(std::memory_order_relaxed);
+    while (better(v, seen) &&
+           !current.compare_exchange_weak(seen, v,
+                                          std::memory_order_relaxed)) {
+        // seen reloaded by compare_exchange_weak.
+    }
+}
+
+std::string
+formatValue(double v)
+{
+    // Integral values print without a decimal tail so stats.txt stays
+    // scannable; everything else keeps six significant digits.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, std::size_t buckets)
+    : _name(std::move(name)), _desc(std::move(desc)), _lo(lo), _hi(hi),
+      _width((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      _buckets(buckets == 0 ? 1 : buckets)
+{
+    // Infinity sentinels make the extremum CAS loops initialization
+    // free; minSeen()/maxSeen() report 0 while the count is 0.
+    _min.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    _max.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (!enabled())
+        return;
+    if (v < _lo) {
+        _underflow.fetch_add(1, std::memory_order_relaxed);
+    } else if (v >= _hi) {
+        _overflow.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        const auto index = static_cast<std::size_t>((v - _lo) / _width);
+        _buckets[std::min(index, _buckets.size() - 1)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(v, std::memory_order_relaxed);
+    updateExtremum(_min, v, std::less<double>());
+    updateExtremum(_max, v, std::greater<double>());
+}
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double
+Histogram::minSeen() const
+{
+    return count() == 0 ? 0.0 : _min.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::maxSeen() const
+{
+    return count() == 0 ? 0.0 : _max.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (std::atomic<std::uint64_t>& bucket : _buckets)
+        bucket.store(0, std::memory_order_relaxed);
+    _underflow.store(0, std::memory_order_relaxed);
+    _overflow.store(0, std::memory_order_relaxed);
+    _count.store(0, std::memory_order_relaxed);
+    _sum.store(0.0, std::memory_order_relaxed);
+    _min.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    _max.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+StatsRegistry&
+StatsRegistry::instance()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+Counter&
+StatsRegistry::counter(const std::string& name, const std::string& desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const std::unique_ptr<Counter>& c : _counters) {
+        if (c->name() == name)
+            return *c;
+    }
+    _counters.emplace_back(new Counter(name, desc));
+    return *_counters.back();
+}
+
+Gauge&
+StatsRegistry::gauge(const std::string& name, const std::string& desc)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const std::unique_ptr<Gauge>& g : _gauges) {
+        if (g->name() == name)
+            return *g;
+    }
+    _gauges.emplace_back(new Gauge(name, desc));
+    return *_gauges.back();
+}
+
+Histogram&
+StatsRegistry::histogram(const std::string& name, const std::string& desc,
+                         double lo, double hi, std::size_t buckets)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const std::unique_ptr<Histogram>& h : _histograms) {
+        if (h->name() == name)
+            return *h;
+    }
+    _histograms.emplace_back(new Histogram(name, desc, lo, hi, buckets));
+    return *_histograms.back();
+}
+
+void
+StatsRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const std::unique_ptr<Counter>& c : _counters)
+        c->reset();
+    for (const std::unique_ptr<Gauge>& g : _gauges)
+        g->reset();
+    for (const std::unique_ptr<Histogram>& h : _histograms)
+        h->reset();
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::string> out;
+    out.reserve(_counters.size() + _gauges.size() + _histograms.size());
+    for (const std::unique_ptr<Counter>& c : _counters)
+        out.push_back(c->name());
+    for (const std::unique_ptr<Gauge>& g : _gauges)
+        out.push_back(g->name());
+    for (const std::unique_ptr<Histogram>& h : _histograms)
+        out.push_back(h->name());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+StatsRegistry::textDump() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::ostringstream os;
+    os << "---------- gest stats ----------\n";
+    auto line = [&](const std::string& name, const std::string& value,
+                    const std::string& desc) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "%-42s %16s", name.c_str(),
+                      value.c_str());
+        os << buf;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << '\n';
+    };
+    for (const std::unique_ptr<Counter>& c : _counters)
+        line(c->name(), std::to_string(c->value()), c->desc());
+    for (const std::unique_ptr<Gauge>& g : _gauges)
+        line(g->name(), formatValue(g->value()), g->desc());
+    for (const std::unique_ptr<Histogram>& h : _histograms) {
+        line(h->name() + "::count", std::to_string(h->count()),
+             h->desc());
+        line(h->name() + "::mean", formatValue(h->mean()), "");
+        line(h->name() + "::min", formatValue(h->minSeen()), "");
+        line(h->name() + "::max", formatValue(h->maxSeen()), "");
+        line(h->name() + "::sum", formatValue(h->sum()), "");
+    }
+    os << "---------- end stats ----------\n";
+    return os.str();
+}
+
+std::string
+StatsRegistry::jsonDump() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::ostringstream os;
+    os << "{\n  \"version\": 1,\n  \"counters\": {";
+    bool first = true;
+    for (const std::unique_ptr<Counter>& c : _counters) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(c->name())
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+    first = true;
+    for (const std::unique_ptr<Gauge>& g : _gauges) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(g->name())
+           << "\": " << formatValue(g->value());
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+    first = true;
+    for (const std::unique_ptr<Histogram>& h : _histograms) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(h->name())
+           << "\": {\"count\": " << h->count()
+           << ", \"sum\": " << formatValue(h->sum())
+           << ", \"mean\": " << formatValue(h->mean())
+           << ", \"min\": " << formatValue(h->minSeen())
+           << ", \"max\": " << formatValue(h->maxSeen())
+           << ", \"lo\": " << formatValue(h->lo())
+           << ", \"hi\": " << formatValue(h->hi())
+           << ", \"underflow\": " << h->underflow()
+           << ", \"overflow\": " << h->overflow() << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h->numBuckets(); ++i)
+            os << (i == 0 ? "" : ", ") << h->bucketCount(i);
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "}" : "\n  }") << "\n}\n";
+    return os.str();
+}
+
+} // namespace stats
+} // namespace gest

@@ -1,24 +1,106 @@
 #include "util/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+
+#include "util/strutil.hh"
 
 namespace gest {
 
 namespace {
-bool quietFlag = false;
+
+// Relaxed atomics so worker threads may log while the coordinator
+// flips verbosity (CLI flag parsing happens before threads start, but
+// the sanitized builds should not have to trust that).
+std::atomic<LogLevel> levelFlag{LogLevel::Normal};
+std::atomic<bool> timestampFlag{false};
+
+double
+secondsSinceStart()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void
+emit(std::FILE* stream, const char* tag, const std::string& msg)
+{
+    if (timestampFlag.load(std::memory_order_relaxed))
+        std::fprintf(stream, "[%10.3f] %s: %s\n", secondsSinceStart(),
+                     tag, msg.c_str());
+    else
+        std::fprintf(stream, "%s: %s\n", tag, msg.c_str());
+}
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    levelFlag.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return levelFlag.load(std::memory_order_relaxed);
+}
+
+void
+setLogTimestamps(bool on)
+{
+    timestampFlag.store(on, std::memory_order_relaxed);
+}
+
+bool
+logTimestamps()
+{
+    return timestampFlag.load(std::memory_order_relaxed);
+}
+
+bool
+configureLoggingFromEnv()
+{
+    const char* env = std::getenv("GEST_LOG");
+    if (!env || env[0] == '\0')
+        return false;
+    for (const std::string& word : split(env, ',')) {
+        const std::string w = toLower(trim(word));
+        if (w.empty())
+            continue;
+        if (w == "quiet")
+            setLogLevel(LogLevel::Quiet);
+        else if (w == "normal")
+            setLogLevel(LogLevel::Normal);
+        else if (w == "verbose" || w == "debug")
+            setLogLevel(LogLevel::Debug);
+        else if (w == "timestamps" || w == "ts")
+            setLogTimestamps(true);
+        else
+            warn("GEST_LOG: ignoring unknown word '", w,
+                 "' (expected quiet|normal|verbose|debug|timestamps)");
+    }
+    return true;
+}
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    // Compatibility shim for pre-LogLevel callers (benchmarks, tests):
+    // only moves between Quiet and Normal, never touches Debug.
+    if (q)
+        setLogLevel(LogLevel::Quiet);
+    else if (logLevel() == LogLevel::Quiet)
+        setLogLevel(LogLevel::Normal);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return logLevel() == LogLevel::Quiet;
 }
 
 namespace detail {
@@ -42,14 +124,20 @@ fatalImpl(const std::string& msg)
 void
 warnImpl(const std::string& msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(stderr, "warn", msg);
 }
 
 void
 informImpl(const std::string& msg)
 {
-    if (!quietFlag)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (logLevel() != LogLevel::Quiet)
+        emit(stdout, "info", msg);
+}
+
+void
+debugImpl(const std::string& msg)
+{
+    emit(stdout, "debug", msg);
 }
 
 } // namespace detail

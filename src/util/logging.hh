@@ -7,7 +7,13 @@
  *            run cannot continue. Exits with status 1 (throws
  *            FatalError first so library embedders and tests can catch it).
  * warn()   — something works but not as well as it should.
- * inform() — plain status output.
+ * inform() — plain status output; suppressed at LogLevel::Quiet.
+ * debug()  — chatty diagnostics; printed only at LogLevel::Debug.
+ *
+ * The verbosity is a process-wide LogLevel, settable programmatically
+ * (setLogLevel), from the CLI (--quiet / --verbose) or from the
+ * GEST_LOG environment variable (configureLoggingFromEnv). Optionally
+ * every line carries a monotonic timestamp (setLogTimestamps).
  */
 
 #ifndef GEST_UTIL_LOGGING_HH
@@ -30,6 +36,24 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/**
+ * Process-wide verbosity. Each level includes everything above it:
+ * Quiet shows only warnings and errors, Normal adds inform(), Debug
+ * adds debug().
+ */
+enum class LogLevel
+{
+    Quiet,
+    Normal,
+    Debug,
+};
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+/** The current verbosity. */
+LogLevel logLevel();
+
 namespace detail {
 
 /** Concatenate a pack of streamable values into one string. */
@@ -47,6 +71,7 @@ concat(const Args&... args)
 [[noreturn]] void fatalImpl(const std::string& msg);
 void warnImpl(const std::string& msg);
 void informImpl(const std::string& msg);
+void debugImpl(const std::string& msg);
 
 } // namespace detail
 
@@ -74,7 +99,7 @@ warn(const Args&... args)
     detail::warnImpl(detail::concat(args...));
 }
 
-/** Print an informational message to stdout. */
+/** Print an informational message to stdout (LogLevel::Normal+). */
 template <typename... Args>
 void
 inform(const Args&... args)
@@ -82,7 +107,31 @@ inform(const Args&... args)
     detail::informImpl(detail::concat(args...));
 }
 
-/** Globally silence inform() output (benchmarks, tests). */
+/** Print a diagnostic message to stdout (LogLevel::Debug only). */
+template <typename... Args>
+void
+debug(const Args&... args)
+{
+    if (logLevel() == LogLevel::Debug)
+        detail::debugImpl(detail::concat(args...));
+}
+
+/** Prefix every log line with seconds since process start. */
+void setLogTimestamps(bool on);
+
+/** @return whether log timestamps are enabled. */
+bool logTimestamps();
+
+/**
+ * Apply the GEST_LOG environment variable, a comma-separated list of
+ * `quiet` | `normal` | `verbose` | `debug` (the last two are synonyms)
+ * and `timestamps` (or `ts`). Unknown words warn and are ignored; a
+ * missing or empty variable changes nothing. @return true if GEST_LOG
+ * was set.
+ */
+bool configureLoggingFromEnv();
+
+/** Globally silence inform() output: setLogLevel(Quiet/Normal). */
 void setQuiet(bool quiet);
 
 /** @return whether inform() output is currently suppressed. */

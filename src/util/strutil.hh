@@ -54,6 +54,15 @@ bool parseBool(std::string_view s, std::string_view what);
 /** Render a double with fixed precision (for file names and tables). */
 std::string formatFixed(double v, int precision);
 
+/**
+ * Escape @p s for inclusion inside a JSON string literal: quotes and
+ * backslashes are backslash-escaped, control characters become \uXXXX
+ * (with the \n \t \r \f \b shorthands), and non-ASCII bytes pass
+ * through untouched (JSON is UTF-8). Used by the Chrome-trace and
+ * metrics.json writers.
+ */
+std::string jsonEscape(std::string_view s);
+
 } // namespace gest
 
 #endif // GEST_UTIL_STRUTIL_HH

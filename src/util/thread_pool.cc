@@ -32,9 +32,26 @@ ThreadPool::hardwareThreads()
     return n == 0 ? 1 : static_cast<int>(n);
 }
 
+namespace {
+thread_local int currentWorker = -1;
+} // namespace
+
+int
+ThreadPool::currentWorkerId()
+{
+    return currentWorker;
+}
+
+std::string
+ThreadPool::workerName(int id)
+{
+    return id < 0 ? "coordinator" : "worker-" + std::to_string(id);
+}
+
 void
 ThreadPool::workerLoop(int id)
 {
+    currentWorker = id;
     std::uint64_t seen = 0;
     for (;;) {
         const Task* task = nullptr;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,18 @@ class ThreadPool
 
     /** std::thread::hardware_concurrency() with a floor of 1. */
     static int hardwareThreads();
+
+    /**
+     * The id of the pool worker executing the calling thread, or -1 on
+     * any thread that is not a pool worker (e.g. the coordinator). Ids
+     * are dense in [0, workers()) and stable for the lifetime of the
+     * pool: a worker thread keeps its id across parallelFor() calls.
+     * Observability code uses them as trace thread ids.
+     */
+    static int currentWorkerId();
+
+    /** Display name for a worker id: "worker-<id>", "coordinator" for -1. */
+    static std::string workerName(int id);
 
   private:
     void workerLoop(int id);

@@ -152,6 +152,78 @@ TEST_F(CliTest, StatsWorksWhenConfigReferencedExternalFiles)
     EXPECT_NE(output.find("# id "), std::string::npos);
 }
 
+TEST_F(CliTest, RunWithTraceWritesObservabilityArtifacts)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml' --trace", output,
+                     _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("trace written to"), std::string::npos);
+
+    const std::string run_dir = _dir + "/run_out";
+    ASSERT_TRUE(fileExists(run_dir + "/trace.json"));
+    EXPECT_TRUE(fileExists(run_dir + "/stats.txt"));
+    EXPECT_TRUE(fileExists(run_dir + "/metrics.json"));
+
+    const std::string trace = readFile(run_dir + "/trace.json");
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("coordinator"), std::string::npos);
+
+    const std::string metrics = readFile(run_dir + "/metrics.json");
+    EXPECT_NE(metrics.find("\"engine.generations\": 3"),
+              std::string::npos);
+    const std::string stats = readFile(run_dir + "/stats.txt");
+    EXPECT_NE(stats.find("engine.evaluations"), std::string::npos);
+
+    // The v2 history carries the per-phase timing columns.
+    const std::string history = readFile(run_dir + "/history.csv");
+    EXPECT_NE(history.find("# gest-history v2"), std::string::npos);
+    EXPECT_NE(history.find("evaluation_ms"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportSummarizesARun)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml' --quiet", output,
+                     _dir),
+              0)
+        << output;
+    // --quiet suppresses the inform() banner and progress lines.
+    EXPECT_EQ(output.find("running GA:"), std::string::npos);
+    EXPECT_EQ(output.find("gen "), std::string::npos);
+    EXPECT_NE(output.find("best individual"), std::string::npos);
+
+    ASSERT_EQ(runCli("report '" + _dir + "/run_out'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("history v2, 3 generations"),
+              std::string::npos);
+    EXPECT_NE(output.find("phase breakdown"), std::string::npos);
+    EXPECT_NE(output.find("hit rate"), std::string::npos);
+    EXPECT_NE(output.find("evaluation"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportOnBadRunDirectoryFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("report '" + _dir + "'", output, _dir), 0);
+    EXPECT_NE(output.find("fatal:"), std::string::npos);
+    EXPECT_NE(output.find("history.csv"), std::string::npos);
+
+    EXPECT_NE(runCli("report /nonexistent/run", output, _dir), 0);
+    EXPECT_NE(output.find("does not exist"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownOptionFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("run '" + _dir + "/config.xml' --bogus", output,
+                     _dir),
+              0);
+    EXPECT_NE(output.find("unknown option"), std::string::npos);
+}
+
 TEST_F(CliTest, RunWithMissingConfigFails)
 {
     std::string output;

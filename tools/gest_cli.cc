@@ -4,6 +4,7 @@
  * original Python framework.
  *
  *   gest run <config.xml>      run a GA search from a configuration
+ *   gest report <run_dir>      fitness/phase/cache summary of a run
  *   gest stats <run_dir>       per-generation statistics of a saved run
  *   gest fittest <run_dir>     print the fittest individual's source
  *   gest platforms             list the bundled platform presets
@@ -11,17 +12,23 @@
  *
  * `stats` and `fittest` rebuild the instruction library from the
  * run_configuration.xml recorded in the run directory, so a run is
- * self-describing; `--library arm|x86` overrides that.
+ * self-describing; `--library arm|x86` overrides that. `report` reads
+ * only history.csv, so it also summarizes in-flight runs.
+ *
+ * Global flags: --quiet / --verbose (and the GEST_LOG environment
+ * variable, e.g. GEST_LOG=debug,timestamps) control log output.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "config/config.hh"
 #include "isa/standard_libs.hh"
 #include "measure/measurement.hh"
 #include "native/native_measurement.hh"
+#include "output/report.hh"
 #include "output/stats.hh"
 #include "platform/platform.hh"
 #include "util/fileutil.hh"
@@ -38,13 +45,18 @@ usage()
         stderr,
         "usage:\n"
         "  gest run <config.xml>        run a GA search\n"
-        "  gest stats <run_dir>         summarize a saved run\n"
+        "  gest report <run_dir>        summarize a run (works while "
+        "in flight)\n"
+        "  gest stats <run_dir>         per-generation statistics\n"
         "  gest fittest <run_dir>       print the fittest individual\n"
         "  gest platforms               list platform presets\n"
         "  gest classes                 list measurement/fitness "
         "classes\n"
-        "options for run: --threads N (override the config's "
-        "evaluation workers)\n"
+        "global options: --quiet | --verbose (or GEST_LOG=quiet|debug"
+        "[,timestamps])\n"
+        "options for run: --threads N (override evaluation workers)\n"
+        "                 --trace [file.json] (write a Chrome trace; "
+        "default <output dir>/trace.json)\n"
         "options for stats/fittest: --library arm|x86|cache-stress\n");
     return 2;
 }
@@ -82,13 +94,23 @@ libraryForRun(const std::string& run_dir, const char* override_name)
 }
 
 int
-cmdRun(const std::string& path, const char* threads_override)
+cmdRun(const std::string& path, const char* threads_override,
+       bool want_trace, const char* trace_file)
 {
     config::RunConfig cfg = config::loadConfig(path);
     if (threads_override) {
         cfg.ga.threads = static_cast<int>(
             parseInt(threads_override, "--threads"));
         cfg.ga.validate();
+    }
+    if (trace_file) {
+        cfg.traceFile = trace_file;
+    } else if (want_trace && cfg.traceFile.empty()) {
+        if (cfg.outputDirectory.empty())
+            fatal("--trace without a file name needs an <output "
+                  "directory=\"...\"> to put trace.json in; pass "
+                  "--trace <file.json> instead");
+        cfg.traceFile = cfg.outputDirectory + "/trace.json";
     }
     inform("running GA: population ", cfg.ga.populationSize,
            ", individual size ", cfg.ga.individualSize, ", ",
@@ -131,9 +153,22 @@ cmdRun(const std::string& path, const char* threads_override)
                               static_cast<double>(result.cacheHits +
                                                   result.cacheMisses)
                         : 0.0);
+    if (!result.traceFile.empty())
+        std::printf("trace written to %s (open in chrome://tracing or "
+                    "https://ui.perfetto.dev)\n",
+                    result.traceFile.c_str());
     if (!cfg.outputDirectory.empty())
         std::printf("artifacts recorded in %s\n",
                     cfg.outputDirectory.c_str());
+    return 0;
+}
+
+int
+cmdReport(const std::string& run_dir)
+{
+    std::printf("%s",
+                output::formatReport(output::analyzeRun(run_dir))
+                    .c_str());
     return 0;
 }
 
@@ -199,27 +234,53 @@ cmdClasses()
 int
 main(int argc, char** argv)
 try {
+    configureLoggingFromEnv();
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
 
+    // Separate flags from positional operands; flags may appear
+    // anywhere after the command. --trace takes an optional value: the
+    // next argument is consumed only when it names a .json file.
+    std::vector<std::string> positional;
     const char* library_override = nullptr;
     const char* threads_override = nullptr;
-    for (int i = 2; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--library") == 0)
-            library_override = argv[i + 1];
-        if (std::strcmp(argv[i], "--threads") == 0)
-            threads_override = argv[i + 1];
+    const char* trace_file = nullptr;
+    bool want_trace = false;
+    for (int i = 2; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--quiet") == 0) {
+            setLogLevel(LogLevel::Quiet);
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            setLogLevel(LogLevel::Debug);
+        } else if (std::strcmp(arg, "--library") == 0) {
+            if (i + 1 >= argc)
+                fatal("--library requires a value");
+            library_override = argv[++i];
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            if (i + 1 >= argc)
+                fatal("--threads requires a value");
+            threads_override = argv[++i];
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            want_trace = true;
+            if (i + 1 < argc && endsWith(argv[i + 1], ".json"))
+                trace_file = argv[++i];
+        } else if (startsWith(arg, "--")) {
+            fatal("unknown option '", arg, "'");
+        } else {
+            positional.emplace_back(arg);
+        }
     }
-    if (argc > 2 && std::strcmp(argv[argc - 1], "--threads") == 0)
-        fatal("--threads requires a value");
 
-    if (command == "run" && argc >= 3)
-        return cmdRun(argv[2], threads_override);
-    if (command == "stats" && argc >= 3)
-        return cmdStats(argv[2], library_override);
-    if (command == "fittest" && argc >= 3)
-        return cmdFittest(argv[2], library_override);
+    if (command == "run" && positional.size() == 1)
+        return cmdRun(positional[0], threads_override, want_trace,
+                      trace_file);
+    if (command == "report" && positional.size() == 1)
+        return cmdReport(positional[0]);
+    if (command == "stats" && positional.size() == 1)
+        return cmdStats(positional[0], library_override);
+    if (command == "fittest" && positional.size() == 1)
+        return cmdFittest(positional[0], library_override);
     if (command == "platforms")
         return cmdPlatforms();
     if (command == "classes")
