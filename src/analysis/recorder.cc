@@ -1,0 +1,254 @@
+#include "analysis/recorder.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "stats/stats.hh"
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace analysis {
+
+namespace {
+
+/**
+ * Recorder-wide stat handles, resolved once (the engineStats()
+ * pattern): the headline analytics mirrored into stats.txt and
+ * metrics.json, subject to the global stats::enabled() flag.
+ */
+struct AnalysisStats
+{
+    stats::Counter& births;
+    stats::Counter& crossoverBirths;
+    stats::Counter& mutationBirths;
+    stats::Counter& eliteCopies;
+    stats::Counter& crossoverImproved;
+    stats::Counter& mutationImproved;
+    stats::Gauge& geneEntropy;
+    stats::Gauge& pairwiseDiversity;
+    stats::Gauge& fitnessMedian;
+};
+
+AnalysisStats&
+analysisStats()
+{
+    static AnalysisStats s{
+        stats::StatsRegistry::instance().counter(
+            "analysis.births", "individuals recorded by the ledger"),
+        stats::StatsRegistry::instance().counter(
+            "analysis.births.crossover",
+            "children born by crossover alone"),
+        stats::StatsRegistry::instance().counter(
+            "analysis.births.mutation",
+            "children mutated after crossover"),
+        stats::StatsRegistry::instance().counter(
+            "analysis.births.elite_copy",
+            "elite individuals carried unchanged"),
+        stats::StatsRegistry::instance().counter(
+            "analysis.improved.crossover",
+            "crossover children that beat both parents"),
+        stats::StatsRegistry::instance().counter(
+            "analysis.improved.mutation",
+            "mutated children that beat both parents"),
+        stats::StatsRegistry::instance().gauge(
+            "analysis.gene_entropy_bits",
+            "mean per-gene entropy of the last generation (bits)"),
+        stats::StatsRegistry::instance().gauge(
+            "analysis.pairwise_diversity",
+            "mean pairwise genome distance of the last generation"),
+        stats::StatsRegistry::instance().gauge(
+            "analysis.fitness_median",
+            "median fitness of the last generation"),
+    };
+    return s;
+}
+
+} // namespace
+
+Recorder::Recorder(std::string run_dir,
+                   const isa::InstructionLibrary& lib,
+                   int total_generations)
+    : _runDir(std::move(run_dir)), _lib(lib),
+      _totalGenerations(total_generations),
+      _ledger(_runDir + "/lineage.csv"),
+      _analytics(_runDir + "/analytics.csv"),
+      _startUs(stats::nowUs())
+{
+    ensureDir(_runDir);
+}
+
+void
+Recorder::recordSeed(int generation, const core::Individual& ind,
+                     bool resumed)
+{
+    LineageEvent event;
+    event.generation = generation;
+    event.id = ind.id;
+    event.op = resumed ? BirthOp::Resumed : BirthOp::Seed;
+    event.parent1 = ind.parent1;
+    event.parent2 = ind.parent2;
+    _ledger.recordBirth(std::move(event));
+}
+
+void
+Recorder::recordChild(int generation, const core::Individual& ind,
+                      const std::vector<std::uint32_t>& mutated_genes)
+{
+    LineageEvent event;
+    event.generation = generation;
+    event.id = ind.id;
+    event.op = mutated_genes.empty() ? BirthOp::Crossover
+                                     : BirthOp::Mutation;
+    event.parent1 = ind.parent1;
+    event.parent2 = ind.parent2;
+    event.mutatedGenes = mutated_genes;
+    _ledger.recordBirth(std::move(event));
+}
+
+void
+Recorder::recordEliteCopy(int generation, const core::Individual& ind)
+{
+    LineageEvent event;
+    event.generation = generation;
+    event.id = ind.id;
+    event.op = BirthOp::EliteCopy;
+    // An elite copy is the same individual again, not a child; its
+    // true parents are on its birth row, so the copy row points at
+    // itself.
+    event.parent1 = ind.id;
+    event.parent2 = ind.id;
+    _ledger.recordBirth(std::move(event));
+}
+
+void
+Recorder::onGenerationEvaluated(const core::Population& pop,
+                                const core::GenerationRecord& record)
+{
+    const std::vector<LineageEvent> sealed = _ledger.sealGeneration(pop);
+
+    AnalyticsRow row = computeAnalytics(_lib, pop);
+    row.generation = record.generation;
+    for (const LineageEvent& event : sealed) {
+        switch (event.op) {
+          case BirthOp::Crossover:
+          case BirthOp::Mutation: {
+            const bool crossed = event.op == BirthOp::Crossover;
+            double p1 = 0.0, p2 = 0.0;
+            // Parents are in an earlier sealed generation; efficacy is
+            // only chartable when both fitnesses are on record (a
+            // resumed run's pre-ledger ancestors are not).
+            if (!_ledger.fitnessOf(event.parent1, p1) ||
+                !_ledger.fitnessOf(event.parent2, p2))
+                break;
+            (crossed ? row.crossoverChildren : row.mutationChildren)++;
+            if (event.fitness > p1 && event.fitness > p2)
+                (crossed ? row.crossoverImproved
+                         : row.mutationImproved)++;
+            break;
+          }
+          case BirthOp::EliteCopy:
+            ++row.eliteCopies;
+            break;
+          case BirthOp::Seed:
+          case BirthOp::Resumed:
+            break;
+        }
+    }
+    _analytics.append(row);
+    _rows.push_back(row);
+
+    AnalysisStats& s = analysisStats();
+    s.births.inc(sealed.size());
+    s.crossoverBirths.inc(row.crossoverChildren);
+    s.mutationBirths.inc(row.mutationChildren);
+    s.eliteCopies.inc(row.eliteCopies);
+    s.crossoverImproved.inc(row.crossoverImproved);
+    s.mutationImproved.inc(row.mutationImproved);
+    s.geneEntropy.set(row.geneEntropyBits);
+    s.pairwiseDiversity.set(row.pairwiseDiversity);
+    s.fitnessMedian.set(row.fitnessMedian);
+
+    _totalMeasured += record.cacheMisses;
+    _totalCacheHits += record.cacheHits;
+    _sawGeneration = true;
+    _lastGeneration = record.generation;
+    _lastBest = record.bestFitness;
+    _lastAverage = record.averageFitness;
+    _lastDiversity = record.diversity;
+    writeStatus(pop, record, /*running=*/true);
+}
+
+void
+Recorder::writeStatus(const core::Population& pop,
+                      const core::GenerationRecord& record, bool running)
+{
+    (void)pop;
+    const double elapsed_s = (stats::nowUs() - _startUs) / 1e6;
+    const int done = record.generation + 1;
+    const double per_generation_s =
+        done > 0 ? elapsed_s / static_cast<double>(done) : 0.0;
+    const double eta_s =
+        running && _totalGenerations > done
+            ? per_generation_s *
+                  static_cast<double>(_totalGenerations - done)
+            : 0.0;
+    const double evals_per_sec =
+        elapsed_s > 0.0
+            ? static_cast<double>(_totalMeasured) / elapsed_s
+            : 0.0;
+    const std::uint64_t resolved = _totalMeasured + _totalCacheHits;
+    const double hit_rate =
+        resolved > 0
+            ? static_cast<double>(_totalCacheHits) /
+                  static_cast<double>(resolved)
+            : 0.0;
+
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"state\": \"%s\",\n"
+        "  \"generation\": %d,\n"
+        "  \"total_generations\": %d,\n"
+        "  \"best_fitness\": %.17g,\n"
+        "  \"average_fitness\": %.17g,\n"
+        "  \"diversity\": %.6f,\n"
+        "  \"gene_entropy_bits\": %.6f,\n"
+        "  \"pairwise_diversity\": %.6f,\n"
+        "  \"evaluations\": %llu,\n"
+        "  \"cache_hit_rate\": %.6f,\n"
+        "  \"evals_per_sec\": %.3f,\n"
+        "  \"elapsed_seconds\": %.3f,\n"
+        "  \"eta_seconds\": %.3f\n"
+        "}\n",
+        running ? "running" : "completed", record.generation,
+        _totalGenerations, record.bestFitness, record.averageFitness,
+        record.diversity,
+        _rows.empty() ? 0.0 : _rows.back().geneEntropyBits,
+        _rows.empty() ? 0.0 : _rows.back().pairwiseDiversity,
+        static_cast<unsigned long long>(_totalMeasured), hit_rate,
+        evals_per_sec, elapsed_s, eta_s);
+    // Atomic replace: a poller either sees the previous heartbeat or
+    // this one, never a torn file.
+    writeFileAtomic(statusPath(), buf);
+}
+
+void
+Recorder::finish()
+{
+    if (!_sawGeneration)
+        return;
+    core::GenerationRecord last;
+    last.generation = _lastGeneration;
+    last.bestFitness = _lastBest;
+    last.averageFitness = _lastAverage;
+    last.diversity = _lastDiversity;
+    core::Population empty;
+    writeStatus(empty, last, /*running=*/false);
+    debug("analytics recorded in ", _runDir,
+          "/lineage.csv, analytics.csv and status.json");
+}
+
+} // namespace analysis
+} // namespace gest

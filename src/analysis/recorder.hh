@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The run-wide evolution-analytics recorder the engine reports to.
+ *
+ * One Recorder per GA run, attached with Engine::setAnalytics(). The
+ * engine calls the record*() hooks as individuals come into existence
+ * (they never touch the GA RNG, so results are bit-identical with the
+ * recorder attached or not) and onGenerationEvaluated() once per
+ * evaluated generation, which:
+ *
+ *  - seals the generation's births into `lineage.csv` (LineageLedger);
+ *  - computes and appends one `analytics.csv` row (instruction-class
+ *    mix, gene entropy, pairwise diversity, fitness quartiles,
+ *    operator efficacy);
+ *  - mirrors the headline values into the stats registry
+ *    (`analysis.*` gauges/counters, subject to stats::enabled());
+ *  - atomically replaces `status.json`, a heartbeat external monitors
+ *    can poll without parsing logs (see docs/analytics.md).
+ */
+
+#ifndef GEST_ANALYSIS_RECORDER_HH
+#define GEST_ANALYSIS_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analytics.hh"
+#include "analysis/lineage.hh"
+#include "core/engine.hh"
+
+namespace gest {
+namespace analysis {
+
+class Recorder
+{
+  public:
+    /**
+     * @param run_dir directory the artifacts are written into
+     *        (created if absent)
+     * @param lib the library individuals reference (must outlive the
+     *        recorder)
+     * @param total_generations the run's generation budget (ETA)
+     */
+    Recorder(std::string run_dir, const isa::InstructionLibrary& lib,
+             int total_generations);
+
+    /**
+     * Record a generation-0 individual. @p resumed marks individuals
+     * loaded from a seed population/checkpoint, whose parents may
+     * predate this ledger.
+     */
+    void recordSeed(int generation, const core::Individual& ind,
+                    bool resumed);
+
+    /**
+     * Record a bred child. @p mutated_genes holds the gene indices
+     * mutation rewrote; empty means the child is a pure crossover.
+     */
+    void recordChild(int generation, const core::Individual& ind,
+                     const std::vector<std::uint32_t>& mutated_genes);
+
+    /** Record the elite being carried unchanged into @p generation. */
+    void recordEliteCopy(int generation, const core::Individual& ind);
+
+    /**
+     * Seal the generation: flush lineage rows, append the analytics
+     * row, update stats gauges and replace status.json.
+     */
+    void onGenerationEvaluated(const core::Population& pop,
+                               const core::GenerationRecord& record);
+
+    /** Write the final status.json with state "completed". */
+    void finish();
+
+    const std::string& runDir() const { return _runDir; }
+    std::string statusPath() const { return _runDir + "/status.json"; }
+
+    /** Analytics rows sealed so far (tests). */
+    const std::vector<AnalyticsRow>& rows() const { return _rows; }
+
+  private:
+    void writeStatus(const core::Population& pop,
+                     const core::GenerationRecord& record, bool running);
+
+    std::string _runDir;
+    const isa::InstructionLibrary& _lib;
+    int _totalGenerations;
+
+    LineageLedger _ledger;
+    AnalyticsWriter _analytics;
+    std::vector<AnalyticsRow> _rows;
+
+    double _startUs;
+    std::uint64_t _totalMeasured = 0;
+    std::uint64_t _totalCacheHits = 0;
+
+    // Last-generation summary repeated in the final status.json.
+    bool _sawGeneration = false;
+    double _lastBest = 0.0;
+    double _lastAverage = 0.0;
+    double _lastDiversity = 0.0;
+    int _lastGeneration = 0;
+};
+
+} // namespace analysis
+} // namespace gest
+
+#endif // GEST_ANALYSIS_RECORDER_HH

@@ -1,5 +1,6 @@
 #include "config/config.hh"
 
+#include "analysis/recorder.hh"
 #include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
 #include "measure/sim_measurements.hh"
@@ -219,6 +220,9 @@ parseConfig(const std::string& text, const std::string& base_dir,
         if (out->hasAttr("stats"))
             cfg.recordStats =
                 parseBool(out->attr("stats"), "output stats");
+        if (out->hasAttr("analytics"))
+            cfg.recordAnalytics =
+                parseBool(out->attr("analytics"), "output analytics");
     }
     if (const xml::Element* seed = root.child("seed_population"))
         cfg.seedPopulationPath =
@@ -289,6 +293,13 @@ runFromConfig(const RunConfig& cfg)
         engine.setTraceWriter(trace.get());
     }
 
+    std::unique_ptr<analysis::Recorder> recorder;
+    if (cfg.recordAnalytics && !cfg.outputDirectory.empty()) {
+        recorder = std::make_unique<analysis::Recorder>(
+            cfg.outputDirectory, cfg.library, cfg.ga.generations);
+        engine.setAnalytics(recorder.get());
+    }
+
     std::unique_ptr<output::RunWriter> writer;
     if (!cfg.outputDirectory.empty()) {
         writer = std::make_unique<output::RunWriter>(
@@ -311,6 +322,8 @@ runFromConfig(const RunConfig& cfg)
     result.cacheHits = engine.cacheHits();
     result.cacheMisses = engine.cacheMisses();
 
+    if (recorder)
+        recorder->finish();
     if (trace) {
         trace->finish();
         result.traceFile = cfg.traceFile;

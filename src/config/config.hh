@@ -82,6 +82,16 @@ struct RunConfig
      */
     bool recordStats = true;
 
+    /**
+     * Record evolution analytics (<output analytics="...">, default
+     * true): an analysis::Recorder is attached to the engine and
+     * lineage.csv, analytics.csv and the status.json heartbeat are
+     * maintained in the output directory. Has no effect without an
+     * output directory. Recording never perturbs the GA RNG, so
+     * results are bit-identical with analytics on or off.
+     */
+    bool recordAnalytics = true;
+
     /** Raw main-configuration text (record keeping). */
     std::string rawText;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/recorder.hh"
 #include "output/trace_writer.hh"
 #include "stats/stats.hh"
 #include "util/logging.hh"
@@ -120,6 +121,12 @@ Engine::setTraceWriter(output::TraceWriter* trace)
     _trace = trace;
     if (_trace)
         _trace->setThreadName(0, util::ThreadPool::workerName(-1));
+}
+
+void
+Engine::setAnalytics(analysis::Recorder* recorder)
+{
+    _analytics = recorder;
 }
 
 bool
@@ -370,6 +377,8 @@ Engine::evaluatePopulation()
     }
     _history.push_back(generationRecord);
 
+    if (_analytics)
+        _analytics->onGenerationEvaluated(_population, generationRecord);
     if (_callback)
         _callback(_population, generationRecord);
 }
@@ -404,6 +413,19 @@ Engine::initialize()
         for (int i = 0; i < _params.populationSize; ++i)
             _population.individuals.push_back(randomIndividual());
     }
+    if (_analytics) {
+        // Individuals carried over from a seed file keep their original
+        // ids and parents, which may predate this run's ledger — they
+        // are recorded as "resumed"; random top-ups past the seed-file
+        // count are ordinary seeds.
+        const std::size_t carried =
+            _seed ? std::min(_seed->individuals.size(),
+                             _population.individuals.size())
+                  : 0;
+        for (std::size_t i = 0; i < _population.individuals.size(); ++i)
+            _analytics->recordSeed(0, _population.individuals[i],
+                                   i < carried);
+    }
     evaluatePopulation();
 }
 
@@ -423,8 +445,12 @@ Engine::breed()
         // The elite keeps its id, measurements and fitness: it is the
         // same individual, not a copy to re-measure.
         next.individuals.push_back(_population.best());
+        if (_analytics)
+            _analytics->recordEliteCopy(next.generation,
+                                        next.individuals.back());
     }
 
+    std::vector<std::uint32_t> mutated1, mutated2;
     while (static_cast<int>(next.individuals.size()) <
            _params.populationSize) {
         const double mark0 = record ? stats::nowUs() : 0.0;
@@ -437,8 +463,14 @@ Engine::breed()
         const double mark1 = record ? stats::nowUs() : 0.0;
         auto [c1, c2] = crossover(p1, p2, _params, _rng);
         const double mark2 = record ? stats::nowUs() : 0.0;
-        mutate(c1, _lib, _params, _rng);
-        mutate(c2, _lib, _params, _rng);
+        if (_analytics) {
+            mutated1.clear();
+            mutated2.clear();
+        }
+        mutate(c1, _lib, _params, _rng,
+               _analytics ? &mutated1 : nullptr);
+        mutate(c2, _lib, _params, _rng,
+               _analytics ? &mutated2 : nullptr);
         if (record) {
             const double mark3 = stats::nowUs();
             _breedTiming.selectionUs += mark1 - mark0;
@@ -447,10 +479,15 @@ Engine::breed()
         }
         c1.id = _nextId++;
         c2.id = _nextId++;
+        if (_analytics)
+            _analytics->recordChild(next.generation, c1, mutated1);
         next.individuals.push_back(std::move(c1));
         if (static_cast<int>(next.individuals.size()) <
-            _params.populationSize)
+            _params.populationSize) {
+            if (_analytics)
+                _analytics->recordChild(next.generation, c2, mutated2);
             next.individuals.push_back(std::move(c2));
+        }
     }
     if (_trace) {
         _trace->completeEvent(

@@ -27,6 +27,10 @@ namespace output {
 class TraceWriter;
 } // namespace output
 
+namespace analysis {
+class Recorder;
+} // namespace analysis
+
 namespace core {
 
 /** Per-generation summary appended to the engine's history. */
@@ -97,6 +101,17 @@ class Engine
      * globally disabled. The writer must outlive the engine.
      */
     void setTraceWriter(output::TraceWriter* trace);
+
+    /**
+     * Attach an evolution-analytics recorder (may be null to detach;
+     * must outlive the engine). The engine then reports every birth —
+     * seeds, crossover/mutation children with their mutated gene
+     * indices, elite copies — and each evaluated generation to it, so
+     * the recorder can maintain lineage.csv, analytics.csv and the
+     * status.json heartbeat. Recording never touches the GA RNG:
+     * results are bit-identical with the recorder attached or not.
+     */
+    void setAnalytics(analysis::Recorder* recorder);
 
     /** Create and evaluate generation 0. */
     void initialize();
@@ -203,6 +218,9 @@ class Engine
 
     /** Chrome-trace sink (null when tracing is off). */
     output::TraceWriter* _trace = nullptr;
+
+    /** Evolution-analytics sink (null when analytics are off). */
+    analysis::Recorder* _analytics = nullptr;
 
     /** Phase timings accumulated by breed(), consumed by the record. */
     struct BreedTiming

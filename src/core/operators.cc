@@ -135,13 +135,17 @@ crossover(const Individual& p1, const Individual& p2,
 
 int
 mutate(Individual& ind, const isa::InstructionLibrary& lib,
-       const GaParams& params, Rng& rng)
+       const GaParams& params, Rng& rng,
+       std::vector<std::uint32_t>* mutated_out)
 {
     int mutated = 0;
-    for (isa::InstructionInstance& inst : ind.code) {
+    for (std::size_t i = 0; i < ind.code.size(); ++i) {
+        isa::InstructionInstance& inst = ind.code[i];
         if (!rng.nextBool(params.mutationRate))
             continue;
         ++mutated;
+        if (mutated_out)
+            mutated_out->push_back(static_cast<std::uint32_t>(i));
         if (rng.nextBool(params.operandMutationProb) &&
             !inst.operandChoice.empty()) {
             lib.mutateOperand(inst, rng);

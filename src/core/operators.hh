@@ -7,7 +7,9 @@
 #define GEST_CORE_OPERATORS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/ga_params.hh"
 #include "core/individual.hh"
@@ -57,10 +59,16 @@ crossover(const Individual& p1, const Individual& p2,
  * probability params.operandMutationProb, otherwise it replaces the
  * whole instruction with a fresh random one (Figure 3 shows both).
  *
+ * When @p mutated_out is non-null the indices of the rewritten genes
+ * are appended to it (the lineage ledger records them); the RNG is
+ * consumed identically either way, so recording never perturbs the
+ * search.
+ *
  * @return the number of mutated instructions.
  */
 int mutate(Individual& ind, const isa::InstructionLibrary& lib,
-           const GaParams& params, Rng& rng);
+           const GaParams& params, Rng& rng,
+           std::vector<std::uint32_t>* mutated_out = nullptr);
 
 } // namespace core
 } // namespace gest

@@ -1,14 +1,24 @@
 /**
  * @file
- * Run-summary analysis behind `gest report <run_dir>`.
+ * Run-summary analysis behind `gest report <run_dir>` and the
+ * search-dynamics analysis behind `gest explain <run_dir>`.
  *
- * Works from `history.csv` alone, so it summarizes both finished and
- * in-flight runs (the RunWriter appends one complete row per
- * generation). The parser is header-driven and tolerant of version
- * drift: v1 files (pre-timing columns) report everything except the
- * phase breakdown, and columns appended by future versions are
- * ignored. Malformed or truncated files fatal() with an actionable
- * message instead of crashing or mis-summarizing.
+ * `report` works from `history.csv` alone, so it summarizes both
+ * finished and in-flight runs (the RunWriter appends one complete row
+ * per generation); when the run also recorded `analytics.csv` the
+ * summary gains an evolution-analytics section. The parser is
+ * header-driven and tolerant of version drift: v1 files (pre-timing
+ * columns) report everything except the phase breakdown, and columns
+ * appended by future versions are ignored. Malformed or truncated
+ * files fatal() with an actionable message instead of crashing or
+ * mis-summarizing. `--json` renders the same summary machine-readable.
+ *
+ * `explain` reads `lineage.csv` + `analytics.csv` and answers *why*
+ * the GA got where it did: the champion's ancestry chain back to
+ * generation 0, which crossovers/mutations contributed its genes, the
+ * instruction-mix trajectory across generations, and convergence
+ * pathologies (diversity collapse, operator starvation, elite
+ * stagnation) with actionable messages.
  */
 
 #ifndef GEST_OUTPUT_REPORT_HH
@@ -17,6 +27,9 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "analysis/analytics.hh"
+#include "analysis/lineage.hh"
 
 namespace gest {
 namespace output {
@@ -68,6 +81,20 @@ struct RunReport
     double evaluationMs = 0.0;
     double ioMs = 0.0;
 
+    /**
+     * Evolution analytics, present when the run recorded
+     * analytics.csv (runs predating the analytics subsystem, or with
+     * <output analytics="false"/>, summarize without it).
+     */
+    bool hasAnalytics = false;
+    double finalGeneEntropyBits = 0.0;
+    double finalPairwiseDiversity = 0.0;
+    std::uint64_t crossoverChildren = 0;  ///< run totals
+    std::uint64_t crossoverImproved = 0;
+    std::uint64_t mutationChildren = 0;
+    std::uint64_t mutationImproved = 0;
+    std::uint64_t eliteCopies = 0;
+
     /** Cache hit rate in [0, 1]. */
     double cacheHitRate() const;
 
@@ -84,6 +111,43 @@ RunReport analyzeRun(const std::string& run_dir);
 
 /** Render the report as the text `gest report` prints. */
 std::string formatReport(const RunReport& report);
+
+/**
+ * Render the report as one JSON object (`gest report --json`): the
+ * same fields machine-readable, with an "analytics" sub-object when
+ * the run recorded analytics.csv (null otherwise).
+ */
+std::string formatReportJson(const RunReport& report);
+
+/** Everything `gest explain` prints, in analyzable form. */
+struct ExplainReport
+{
+    std::string runDir;
+
+    /** Parsed lineage.csv, in file order. */
+    std::vector<analysis::LineageEvent> events;
+
+    /** Champion ancestry reconstructed from the ledger. */
+    analysis::Ancestry ancestry;
+
+    /** Parsed analytics.csv; empty when the file is absent. */
+    std::vector<analysis::AnalyticsRow> analytics;
+
+    /**
+     * Detected convergence pathologies, one actionable message each;
+     * empty when the search looks healthy.
+     */
+    std::vector<std::string> pathologies;
+};
+
+/**
+ * Analyze @p run_dir/lineage.csv (+ analytics.csv when present) for
+ * `gest explain`. fatal() when the directory or ledger is missing.
+ */
+ExplainReport analyzeExplain(const std::string& run_dir);
+
+/** Render the report as the text `gest explain` prints. */
+std::string formatExplain(const ExplainReport& report);
 
 } // namespace output
 } // namespace gest

@@ -50,6 +50,17 @@ writeFile(const std::string& path, const std::string& contents)
 }
 
 void
+writeFileAtomic(const std::string& path, const std::string& contents)
+{
+    const std::string tmp = path + ".tmp";
+    writeFile(tmp, contents);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fatal("cannot replace '", path, "': ", ec.message());
+}
+
+void
 ensureDir(const std::string& path)
 {
     std::error_code ec;

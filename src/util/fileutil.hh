@@ -20,6 +20,15 @@ bool tryReadFile(const std::string& path, std::string& out);
 /** Write @p contents to @p path, creating parent directories. */
 void writeFile(const std::string& path, const std::string& contents);
 
+/**
+ * Atomically replace @p path with @p contents: write to a sibling
+ * temporary file, then rename() over the target, so a concurrent
+ * reader sees either the old file or the new one, never a torn write.
+ * Used for the run's status.json heartbeat.
+ */
+void writeFileAtomic(const std::string& path,
+                     const std::string& contents);
+
 /** Create a directory (and parents); fatal() on failure. */
 void ensureDir(const std::string& path);
 

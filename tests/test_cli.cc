@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/fileutil.hh"
@@ -236,6 +237,115 @@ TEST_F(CliTest, StatsOnEmptyDirectoryFails)
     std::string output;
     EXPECT_NE(runCli("stats '" + _dir + "'", output, _dir), 0);
     EXPECT_NE(output.find("fatal:"), std::string::npos);
+}
+
+TEST_F(CliTest, RunRecordsAnalyticsAndExplainReadsThem)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml' --quiet", output,
+                     _dir),
+              0)
+        << output;
+
+    const std::string run_dir = _dir + "/run_out";
+    EXPECT_TRUE(fileExists(run_dir + "/lineage.csv"));
+    EXPECT_TRUE(fileExists(run_dir + "/analytics.csv"));
+    EXPECT_TRUE(fileExists(run_dir + "/status.json"));
+
+    ASSERT_EQ(runCli("explain '" + run_dir + "'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("champion: id "), std::string::npos);
+    EXPECT_NE(output.find("primary descent line"), std::string::npos);
+    EXPECT_NE(output.find("instruction-mix trajectory"),
+              std::string::npos);
+    EXPECT_NE(output.find("convergence pathologies"),
+              std::string::npos);
+
+    // The summary picks the analytics up too.
+    ASSERT_EQ(runCli("report '" + run_dir + "'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("evolution analytics"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportJsonIsMachineReadable)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml' --quiet", output,
+                     _dir),
+              0)
+        << output;
+    ASSERT_EQ(runCli("report --json '" + _dir + "/run_out'", output,
+                     _dir),
+              0)
+        << output;
+    EXPECT_EQ(trim(output).front(), '{');
+    EXPECT_EQ(trim(output).back(), '}');
+    EXPECT_NE(output.find("\"generations\": 3"), std::string::npos);
+    EXPECT_NE(output.find("\"phase_ms\""), std::string::npos);
+    EXPECT_NE(output.find("\"analytics\""), std::string::npos);
+    EXPECT_NE(output.find("\"mutation_children\""), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyticsOffIsBitIdenticalAndSuppressesArtifacts)
+{
+    // Same seed, stats off (the v2 timing columns are wall-clock and
+    // would differ between runs); the only variable is analytics.
+    const char* config_template = R"(
+<gest_configuration>
+  <ga population_size="8" individual_size="6" mutation_rate="0.2"
+      tournament_size="3" generations="3" seed="11"/>
+  <library name="arm"/>
+  <measurement class="SimPowerMeasurement">
+    <config platform="cortex-a7" min_cycles="1024"/>
+  </measurement>
+  <fitness class="DefaultFitness"/>
+  <output directory="%s" stats="false" analytics="%s"/>
+</gest_configuration>
+)";
+    char on_cfg[1024], off_cfg[1024];
+    std::snprintf(on_cfg, sizeof(on_cfg), config_template, "run_on",
+                  "true");
+    std::snprintf(off_cfg, sizeof(off_cfg), config_template, "run_off",
+                  "false");
+    writeFile(_dir + "/on.xml", on_cfg);
+    writeFile(_dir + "/off.xml", off_cfg);
+
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/on.xml' --quiet", output, _dir),
+              0)
+        << output;
+    ASSERT_EQ(runCli("run '" + _dir + "/off.xml' --quiet", output,
+                     _dir),
+              0)
+        << output;
+
+    // Bit-identical search with analytics on or off.
+    EXPECT_EQ(readFile(_dir + "/run_on/history.csv"),
+              readFile(_dir + "/run_off/history.csv"));
+    EXPECT_EQ(readFile(_dir + "/run_on/population_2.pop"),
+              readFile(_dir + "/run_off/population_2.pop"));
+
+    // analytics="false" suppresses the artifacts entirely.
+    EXPECT_TRUE(fileExists(_dir + "/run_on/lineage.csv"));
+    EXPECT_FALSE(fileExists(_dir + "/run_off/lineage.csv"));
+    EXPECT_FALSE(fileExists(_dir + "/run_off/analytics.csv"));
+    EXPECT_FALSE(fileExists(_dir + "/run_off/status.json"));
+
+    // explain on the analytics-less run fails with an actionable hint.
+    EXPECT_NE(runCli("explain '" + _dir + "/run_off'", output, _dir),
+              0);
+    EXPECT_NE(output.find("analytics"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainOnBadRunDirectoryFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("explain '" + _dir + "'", output, _dir), 0);
+    EXPECT_NE(output.find("fatal:"), std::string::npos);
+    EXPECT_NE(output.find("lineage.csv"), std::string::npos);
+
+    EXPECT_NE(runCli("explain /nonexistent/run", output, _dir), 0);
+    EXPECT_NE(output.find("does not exist"), std::string::npos);
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/engine.hh"
 #include "isa/standard_libs.hh"
 #include "util/fileutil.hh"
@@ -307,6 +309,39 @@ TEST(Operators, MutationCountMatchesRateOnAverage)
     }
     // The paper's rule: ~1 mutated instruction per 50-long individual.
     EXPECT_NEAR(static_cast<double>(total) / trials, 1.0, 0.2);
+}
+
+TEST(Operators, MutationReportsIndicesWithoutPerturbingTheRng)
+{
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+    GaParams params = smallParams();
+    params.mutationRate = 0.3;
+
+    // Same seed with and without the out-parameter: identical result
+    // genome (recording is a pure observation), and the reported
+    // indices are exactly the genes that changed.
+    Individual recorded = individualOf(lib, "ADD", 20, 1);
+    const Individual before = recorded;
+    Rng rng1(17);
+    std::vector<std::uint32_t> indices;
+    const int count = mutate(recorded, lib, params, rng1, &indices);
+    EXPECT_EQ(static_cast<int>(indices.size()), count);
+    ASSERT_GT(count, 0);
+
+    Individual plain = individualOf(lib, "ADD", 20, 1);
+    Rng rng2(17);
+    EXPECT_EQ(mutate(plain, lib, params, rng2), count);
+    EXPECT_EQ(plain.code, recorded.code);
+
+    // Every changed gene is reported (a reported gene may still
+    // compare equal: an operand redraw can land on the same value).
+    const std::set<std::uint32_t> mutated(indices.begin(),
+                                          indices.end());
+    for (std::uint32_t i = 0; i < before.code.size(); ++i) {
+        if (!mutated.count(i))
+            EXPECT_EQ(recorded.code[i], before.code[i]) << i;
+    }
+    EXPECT_TRUE(recorded.code != before.code);
 }
 
 TEST(Operators, MutatedGenesRemainValid)

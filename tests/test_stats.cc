@@ -389,6 +389,191 @@ TEST(Report, FatalsWithActionableMessages)
     EXPECT_THROW(output::analyzeRun(headless), FatalError);
 }
 
+TEST(Report, HandlesDegenerateHistoriesWithoutDivisionByZero)
+{
+    // Single row, zero duration everywhere, zero first-gen best, no
+    // cache traffic: every ratio in the report must degrade to 0 or
+    // "n/a", never inf/nan.
+    const std::string dir = makeTempDir("gest-report");
+    writeFile(dir + "/history.csv",
+              "# gest-history v2\n"
+              "generation,best_fitness,average_fitness,best_id,"
+              "unique_instructions,diversity,cache_hits,cache_misses,"
+              "selection_ms,crossover_ms,mutation_ms,evaluation_ms,"
+              "io_ms\n"
+              "0,0.0,0.0,1,0,0.0,0,0,0,0,0,0,0\n");
+    const output::RunReport report = output::analyzeRun(dir);
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.cacheHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(report.evaluationsPerSecond(), 0.0);
+
+    const std::string text = output::formatReport(report);
+    EXPECT_NE(text.find("throughput: n/a"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    // Zero first-gen best: the improvement percentage is omitted
+    // rather than divided by zero.
+    EXPECT_EQ(text.find("(+"), std::string::npos);
+
+    const std::string json = output::formatReportJson(report);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_NE(json.find("\"evaluations_per_second\": 0"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"analytics\": null"), std::string::npos);
+}
+
+TEST(Report, JsonCarriesSummaryAndAnalytics)
+{
+    const std::string dir = makeTempDir("gest-report");
+    writeFile(dir + "/history.csv",
+              "# gest-history v2\n"
+              "generation,best_fitness,average_fitness,best_id,"
+              "unique_instructions,diversity,cache_hits,cache_misses,"
+              "selection_ms,crossover_ms,mutation_ms,evaluation_ms,"
+              "io_ms\n"
+              "0,1.5,1.0,3,10,0.9,0,20,0.1,0.2,0.3,40.0,2.0\n"
+              "1,2.5,2.0,7,12,0.8,15,5,0.1,0.2,0.3,10.0,2.0\n");
+    writeFile(dir + "/analytics.csv",
+              "# gest-analytics v1\n"
+              "generation,mix_short_int,mix_long_int,mix_float_simd,"
+              "mix_mem,mix_branch,mix_nop,gene_entropy_bits,"
+              "pairwise_diversity,fitness_min,fitness_q1,"
+              "fitness_median,fitness_q3,fitness_max,"
+              "crossover_children,crossover_improved,mutation_children,"
+              "mutation_improved,elite_copies\n"
+              "0,4,3,2,1,0,0,2.0,0.9,0.5,0.6,0.7,0.8,1.5,0,0,0,0,0\n"
+              "1,5,2,2,1,0,0,1.5,0.75,0.6,0.7,0.8,0.9,2.5,3,1,4,2,1\n");
+    const output::RunReport report = output::analyzeRun(dir);
+    EXPECT_TRUE(report.hasAnalytics);
+    EXPECT_DOUBLE_EQ(report.finalGeneEntropyBits, 1.5);
+    EXPECT_DOUBLE_EQ(report.finalPairwiseDiversity, 0.75);
+    EXPECT_EQ(report.crossoverChildren, 3u);
+    EXPECT_EQ(report.mutationImproved, 2u);
+    EXPECT_EQ(report.eliteCopies, 1u);
+
+    const std::string text = output::formatReport(report);
+    EXPECT_NE(text.find("evolution analytics"), std::string::npos);
+    EXPECT_NE(text.find("crossover"), std::string::npos);
+
+    const std::string json = output::formatReportJson(report);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"generations\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"best_fitness\": 2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"phase_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"crossover_children\": 3"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mutation_improved\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"run_dir\": \"" + dir + "\""),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------ explain
+
+TEST(Explain, ReconstructsAncestryAndFlagsPathologies)
+{
+    const std::string dir = makeTempDir("gest-explain");
+    writeFile(dir + "/lineage.csv",
+              "# gest-lineage v1\n"
+              "generation,id,op,parent1,parent2,mutated_genes,"
+              "mutated_indices,fitness\n"
+              "0,1,seed,0,0,0,,1.0\n"
+              "0,2,seed,0,0,0,,2.0\n"
+              "1,3,crossover,1,2,0,,1.5\n"
+              "2,4,mutation,3,2,2,0;5,3.0\n");
+    // Twelve generations of flat best fitness, collapsed diversity and
+    // fruitless mutation: all three pathology detectors should fire.
+    std::string analytics =
+        "# gest-analytics v1\n"
+        "generation,mix_short_int,mix_long_int,mix_float_simd,"
+        "mix_mem,mix_branch,mix_nop,gene_entropy_bits,"
+        "pairwise_diversity,fitness_min,fitness_q1,fitness_median,"
+        "fitness_q3,fitness_max,crossover_children,crossover_improved,"
+        "mutation_children,mutation_improved,elite_copies\n";
+    for (int g = 0; g < 12; ++g)
+        analytics += std::to_string(g) +
+                     ",6,0,0,0,0,0,0.0,0.01,3.0,3.0,3.0,3.0,3.0,"
+                     "2,0,5,0,1\n";
+    writeFile(dir + "/analytics.csv", analytics);
+
+    const output::ExplainReport report = output::analyzeExplain(dir);
+    ASSERT_EQ(report.events.size(), 4u);
+    EXPECT_TRUE(report.ancestry.reachesGeneration0);
+    EXPECT_EQ(report.ancestry.ancestorCount, 4u);
+    EXPECT_GE(report.pathologies.size(), 3u);
+
+    const std::string text = output::formatExplain(report);
+    EXPECT_NE(text.find("champion: id 4"), std::string::npos);
+    EXPECT_NE(text.find("born generation 2 by mutation"),
+              std::string::npos);
+    EXPECT_NE(text.find("primary descent line"), std::string::npos);
+    EXPECT_NE(text.find("instruction-mix trajectory"),
+              std::string::npos);
+    EXPECT_NE(text.find("diversity collapse"), std::string::npos);
+    EXPECT_NE(text.find("mutation starvation"), std::string::npos);
+    EXPECT_NE(text.find("elite stagnation"), std::string::npos);
+    // Actionable knobs are named, not just symptoms.
+    EXPECT_NE(text.find("mutation_rate"), std::string::npos);
+    EXPECT_NE(text.find("stagnation_limit"), std::string::npos);
+}
+
+TEST(Explain, HealthyRunReportsNoPathologies)
+{
+    const std::string dir = makeTempDir("gest-explain");
+    writeFile(dir + "/lineage.csv",
+              "# gest-lineage v1\n"
+              "generation,id,op,parent1,parent2,mutated_genes,"
+              "mutated_indices,fitness\n"
+              "0,1,seed,0,0,0,,1.0\n"
+              "1,2,mutation,1,1,1,3,2.0\n");
+    writeFile(dir + "/analytics.csv",
+              "# gest-analytics v1\n"
+              "generation,mix_short_int,mix_long_int,mix_float_simd,"
+              "mix_mem,mix_branch,mix_nop,gene_entropy_bits,"
+              "pairwise_diversity,fitness_min,fitness_q1,"
+              "fitness_median,fitness_q3,fitness_max,"
+              "crossover_children,crossover_improved,mutation_children,"
+              "mutation_improved,elite_copies\n"
+              "0,3,3,0,0,0,0,2.0,0.8,0.5,0.6,0.7,0.8,1.0,0,0,0,0,0\n"
+              "1,3,2,1,0,0,0,1.8,0.7,0.6,0.8,1.0,1.5,2.0,2,1,3,1,1\n");
+    const output::ExplainReport report = output::analyzeExplain(dir);
+    EXPECT_TRUE(report.pathologies.empty());
+    const std::string text = output::formatExplain(report);
+    EXPECT_NE(text.find("none detected"), std::string::npos);
+}
+
+TEST(Explain, MissingLedgerFatalsActionably)
+{
+    const std::string dir = makeTempDir("gest-explain");
+    try {
+        output::analyzeExplain(dir);
+        FAIL() << "expected fatal()";
+    } catch (const FatalError& err) {
+        EXPECT_NE(std::string(err.what()).find("lineage.csv"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(output::analyzeExplain("/nonexistent/run"),
+                 FatalError);
+}
+
+TEST(Explain, WorksWithoutAnalyticsTrajectory)
+{
+    // A ledger alone (analytics.csv missing) still explains ancestry.
+    const std::string dir = makeTempDir("gest-explain");
+    writeFile(dir + "/lineage.csv",
+              "# gest-lineage v1\n"
+              "generation,id,op,parent1,parent2,mutated_genes,"
+              "mutated_indices,fitness\n"
+              "0,1,seed,0,0,0,,1.0\n");
+    const output::ExplainReport report = output::analyzeExplain(dir);
+    EXPECT_TRUE(report.analytics.empty());
+    EXPECT_TRUE(report.pathologies.empty());
+    const std::string text = output::formatExplain(report);
+    EXPECT_NE(text.find("champion: id 1"), std::string::npos);
+    EXPECT_NE(text.find("instruction-mix trajectory: n/a"),
+              std::string::npos);
+}
+
 // ---------------------------------------------------- ThreadPool ids
 
 TEST(ThreadPoolIds, DenseStableIdsAndNames)

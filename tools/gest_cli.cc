@@ -5,6 +5,7 @@
  *
  *   gest run <config.xml>      run a GA search from a configuration
  *   gest report <run_dir>      fitness/phase/cache summary of a run
+ *   gest explain <run_dir>     champion ancestry + search dynamics
  *   gest stats <run_dir>       per-generation statistics of a saved run
  *   gest fittest <run_dir>     print the fittest individual's source
  *   gest platforms             list the bundled platform presets
@@ -13,7 +14,10 @@
  * `stats` and `fittest` rebuild the instruction library from the
  * run_configuration.xml recorded in the run directory, so a run is
  * self-describing; `--library arm|x86` overrides that. `report` reads
- * only history.csv, so it also summarizes in-flight runs.
+ * only history.csv (plus analytics.csv when recorded), so it also
+ * summarizes in-flight runs; `--json` makes it machine-readable.
+ * `explain` reads lineage.csv + analytics.csv and reconstructs the
+ * champion's ancestry back to generation 0.
  *
  * Global flags: --quiet / --verbose (and the GEST_LOG environment
  * variable, e.g. GEST_LOG=debug,timestamps) control log output.
@@ -47,6 +51,8 @@ usage()
         "  gest run <config.xml>        run a GA search\n"
         "  gest report <run_dir>        summarize a run (works while "
         "in flight)\n"
+        "  gest explain <run_dir>       champion ancestry, mix "
+        "trajectory, pathologies\n"
         "  gest stats <run_dir>         per-generation statistics\n"
         "  gest fittest <run_dir>       print the fittest individual\n"
         "  gest platforms               list platform presets\n"
@@ -57,6 +63,7 @@ usage()
         "options for run: --threads N (override evaluation workers)\n"
         "                 --trace [file.json] (write a Chrome trace; "
         "default <output dir>/trace.json)\n"
+        "options for report: --json (machine-readable output)\n"
         "options for stats/fittest: --library arm|x86|cache-stress\n");
     return 2;
 }
@@ -164,10 +171,20 @@ cmdRun(const std::string& path, const char* threads_override,
 }
 
 int
-cmdReport(const std::string& run_dir)
+cmdReport(const std::string& run_dir, bool json)
+{
+    const output::RunReport report = output::analyzeRun(run_dir);
+    std::printf("%s", (json ? output::formatReportJson(report)
+                            : output::formatReport(report))
+                          .c_str());
+    return 0;
+}
+
+int
+cmdExplain(const std::string& run_dir)
 {
     std::printf("%s",
-                output::formatReport(output::analyzeRun(run_dir))
+                output::formatExplain(output::analyzeExplain(run_dir))
                     .c_str());
     return 0;
 }
@@ -247,6 +264,7 @@ try {
     const char* threads_override = nullptr;
     const char* trace_file = nullptr;
     bool want_trace = false;
+    bool want_json = false;
     for (int i = 2; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--quiet") == 0) {
@@ -265,6 +283,8 @@ try {
             want_trace = true;
             if (i + 1 < argc && endsWith(argv[i + 1], ".json"))
                 trace_file = argv[++i];
+        } else if (std::strcmp(arg, "--json") == 0) {
+            want_json = true;
         } else if (startsWith(arg, "--")) {
             fatal("unknown option '", arg, "'");
         } else {
@@ -276,7 +296,9 @@ try {
         return cmdRun(positional[0], threads_override, want_trace,
                       trace_file);
     if (command == "report" && positional.size() == 1)
-        return cmdReport(positional[0]);
+        return cmdReport(positional[0], want_json);
+    if (command == "explain" && positional.size() == 1)
+        return cmdExplain(positional[0]);
     if (command == "stats" && positional.size() == 1)
         return cmdStats(positional[0], library_override);
     if (command == "fittest" && positional.size() == 1)
