@@ -5,6 +5,7 @@
 #include <cstring>
 #include <optional>
 
+#include "signal/signal_probe.hh"
 #include "util/logging.hh"
 
 namespace gest {
@@ -567,6 +568,45 @@ LoopSimulator::runForCycles(const std::vector<MicroOp>& body,
                                 max_instructions / (body.size() + 1));
     need = std::min(need, iter_cap);
     return run(body, need, warmup);
+}
+
+void
+captureActivitySignals(const SimResult& sim, double freq_ghz,
+                       signal::SignalProbe& probe)
+{
+    if (freq_ghz <= 0.0)
+        fatal("captureActivitySignals needs a positive core frequency");
+    const double clock_hz = freq_ghz * 1e9;
+    const std::uint32_t interval = probe.config().ipcIntervalCycles;
+
+    std::vector<double> interval_ipc;
+    interval_ipc.reserve(sim.trace.size() / interval + 1);
+    std::uint64_t fetched = 0;
+    std::uint32_t in_interval = 0;
+    for (std::size_t cycle = 0; cycle < sim.trace.size(); ++cycle) {
+        const CycleStats& cs = sim.trace[cycle];
+        fetched += cs.fetched;
+        if (++in_interval == interval) {
+            interval_ipc.push_back(static_cast<double>(fetched) /
+                                   interval);
+            fetched = 0;
+            in_interval = 0;
+        }
+        const double time_s = static_cast<double>(cycle) / clock_hz;
+        if (cs.cacheMisses > 0)
+            probe.mark("l1_miss", cycle, time_s);
+        if (cs.l2Misses > 0)
+            probe.mark("l2_miss", cycle, time_s);
+        if (cs.mispredicts > 0)
+            probe.mark("mispredict", cycle, time_s);
+    }
+    // A trailing partial interval is still a valid average.
+    if (in_interval > 0)
+        interval_ipc.push_back(static_cast<double>(fetched) /
+                               in_interval);
+    if (!interval_ipc.empty())
+        probe.recordWaveform("interval_ipc", "instr/cycle",
+                             clock_hz / interval, interval_ipc);
 }
 
 } // namespace arch

@@ -44,6 +44,11 @@
 #include "arch/trace.hh"
 
 namespace gest {
+
+namespace signal {
+class SignalProbe;
+} // namespace signal
+
 namespace arch {
 
 /** Initial state of the architectural registers and memory. */
@@ -101,6 +106,17 @@ class LoopSimulator
     CpuConfig _cfg;
     InitState _init;
 };
+
+/**
+ * Record the timing-simulator signals of a finished run into @p probe:
+ * the `interval_ipc` waveform (instructions fetched per cycle,
+ * averaged over probe.config().ipcIntervalCycles-cycle intervals —
+ * what `perf stat -I` shows on real hardware) and one event mark per
+ * cycle with L1-miss, L2-miss or mispredict activity, on the core
+ * clock time base at @p freq_ghz.
+ */
+void captureActivitySignals(const SimResult& sim, double freq_ghz,
+                            signal::SignalProbe& probe);
 
 } // namespace arch
 } // namespace gest

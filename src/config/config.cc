@@ -4,6 +4,7 @@
 #include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
 #include "measure/sim_measurements.hh"
+#include "output/flight_recorder.hh"
 #include "output/run_writer.hh"
 #include "output/trace_writer.hh"
 #include "stats/stats.hh"
@@ -223,6 +224,14 @@ parseConfig(const std::string& text, const std::string& base_dir,
         if (out->hasAttr("analytics"))
             cfg.recordAnalytics =
                 parseBool(out->attr("analytics"), "output analytics");
+        if (out->hasAttr("waveforms")) {
+            const std::int64_t top_k =
+                parseInt(out->attr("waveforms"), "output waveforms");
+            if (top_k < 0)
+                fatal("output waveforms must be non-negative, got ",
+                      top_k);
+            cfg.waveformTopK = static_cast<int>(top_k);
+        }
     }
     if (const xml::Element* seed = root.child("seed_population"))
         cfg.seedPopulationPath =
@@ -300,6 +309,22 @@ runFromConfig(const RunConfig& cfg)
         engine.setAnalytics(recorder.get());
     }
 
+    std::unique_ptr<output::FlightRecorder> flight;
+    if (cfg.waveformTopK > 0) {
+        if (cfg.outputDirectory.empty()) {
+            warn("waveform capture requested but no output directory "
+                 "is set; skipping");
+        } else if (std::unique_ptr<measure::Measurement> probe_meas =
+                       measurement->clone()) {
+            flight = std::make_unique<output::FlightRecorder>(
+                cfg.outputDirectory, cfg.waveformTopK,
+                std::move(probe_meas));
+        } else {
+            warn("measurement '", cfg.measurementClass,
+                 "' is not cloneable; waveform capture disabled");
+        }
+    }
+
     std::unique_ptr<output::RunWriter> writer;
     if (!cfg.outputDirectory.empty()) {
         writer = std::make_unique<output::RunWriter>(
@@ -309,7 +334,17 @@ runFromConfig(const RunConfig& cfg)
             cfg.rawText,
             cfg.asmTemplate ? cfg.asmTemplate->text() : "");
         writer->setTraceWriter(trace.get());
-        engine.setGenerationCallback(writer->callback());
+        if (flight) {
+            engine.setGenerationCallback(
+                [cb = writer->callback(), fr = flight.get()](
+                    const core::Population& pop,
+                    const core::GenerationRecord& record) {
+                    cb(pop, record);
+                    fr->onGenerationEvaluated(pop, record);
+                });
+        } else {
+            engine.setGenerationCallback(writer->callback());
+        }
     }
 
     engine.run();
@@ -322,6 +357,8 @@ runFromConfig(const RunConfig& cfg)
     result.cacheHits = engine.cacheHits();
     result.cacheMisses = engine.cacheMisses();
 
+    if (flight)
+        result.waveformFiles = flight->seal();
     if (recorder)
         recorder->finish();
     if (trace) {

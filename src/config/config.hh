@@ -92,6 +92,17 @@ struct RunConfig
      */
     bool recordAnalytics = true;
 
+    /**
+     * Keep signal captures of the run's top-K individuals
+     * (<output waveforms="K">, default 0 = off): a FlightRecorder
+     * re-measures each champion once with a SignalProbe and seals
+     * waveforms/<id>.csv artifacts in the output directory. Requires
+     * an output directory and a cloneable measurement. Capture never
+     * perturbs the GA RNG, so results are bit-identical with
+     * waveforms on or off.
+     */
+    int waveformTopK = 0;
+
     /** Raw main-configuration text (record keeping). */
     std::string rawText;
 
@@ -146,6 +157,12 @@ struct RunResult
 
     /** Path of the written Chrome trace (empty when tracing was off). */
     std::string traceFile;
+
+    /**
+     * Waveform artifacts sealed by the flight recorder (index.csv
+     * first; empty when waveform capture was off).
+     */
+    std::vector<std::string> waveformFiles;
 };
 
 /**

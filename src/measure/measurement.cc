@@ -13,6 +13,15 @@ Measurement::init(const xml::Element* config)
     (void)config;
 }
 
+MeasurementResult
+Measurement::measureWithProbe(
+    const std::vector<isa::InstructionInstance>& code,
+    signal::SignalProbe* probe)
+{
+    (void)probe;
+    return measure(code);
+}
+
 std::unique_ptr<Measurement>
 Measurement::clone() const
 {

@@ -30,6 +30,10 @@ namespace isa {
 class InstructionLibrary;
 } // namespace isa
 
+namespace signal {
+class SignalProbe;
+} // namespace signal
+
 namespace measure {
 
 /**
@@ -63,6 +67,19 @@ class Measurement
      */
     virtual MeasurementResult measure(
         const std::vector<isa::InstructionInstance>& code) = 0;
+
+    /**
+     * Measure one individual while recording the signals behind the
+     * scalar metrics into @p probe — the instrumented re-run a flight
+     * recorder or `gest probe` performs. Must return exactly what
+     * measure() returns for the same code (capture only observes).
+     * The default ignores the probe and calls measure(): measurements
+     * without an underlying waveform (e.g. native perf runs) still
+     * satisfy the contract, just with an empty capture.
+     */
+    virtual MeasurementResult measureWithProbe(
+        const std::vector<isa::InstructionInstance>& code,
+        signal::SignalProbe* probe);
 
     /** Names of the values measure() returns, in order. */
     virtual std::vector<std::string> valueNames() const = 0;

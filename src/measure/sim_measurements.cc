@@ -34,11 +34,27 @@ const platform::Platform&
 SimMeasurementBase::platform() const
 {
     if (!_platform)
-        fatal("measurement '", const_cast<SimMeasurementBase*>(this)
-                                   ->name(),
+        fatal("measurement '", name(),
               "' has no platform: pass one programmatically or set the "
               "platform attribute in its configuration");
     return *_platform;
+}
+
+MeasurementResult
+SimMeasurementBase::measureWithProbe(
+    const std::vector<isa::InstructionInstance>& code,
+    signal::SignalProbe* probe)
+{
+    _probe = probe;
+    MeasurementResult result;
+    try {
+        result = measure(code);
+    } catch (...) {
+        _probe = nullptr;
+        throw;
+    }
+    _probe = nullptr;
+    return result;
 }
 
 platform::Evaluation
@@ -47,7 +63,8 @@ SimMeasurementBase::evaluate(
     bool want_voltage) const
 {
     platform::Evaluation eval =
-        platform().evaluate(code, _lib, want_voltage, _minCycles);
+        platform().evaluate(code, _lib, want_voltage, _minCycles,
+                            _probe);
     if (stats::enabled()) {
         // Every Sim* measurement funnels through here, so these cover
         // the whole simulated-target family: how much micro-architec-
@@ -153,6 +170,11 @@ MeasurementResult
 SimVoltageNoiseMeasurement::measure(
     const std::vector<isa::InstructionInstance>& code)
 {
+    if (!platform().pdnModel())
+        fatal("SimVoltageNoiseMeasurement needs a platform with a PDN "
+              "model, but '", platform().name(),
+              "' has none (use 'athlon-x4', or pick a power/"
+              "temperature/IPC measurement for this platform)");
     const platform::Evaluation eval = evaluate(code, true);
     return {{eval.peakToPeakV, eval.vMin, eval.chipPowerWatts}};
 }

@@ -38,6 +38,15 @@ class SimMeasurementBase : public Measurement
     /** The platform measured against; fatal() if none configured. */
     const platform::Platform& platform() const;
 
+    /**
+     * All Sim* measurements funnel through one platform evaluation,
+     * so full capture is implemented once: the probe is handed to
+     * Platform::evaluate for the duration of the subclass's measure().
+     */
+    MeasurementResult measureWithProbe(
+        const std::vector<isa::InstructionInstance>& code,
+        signal::SignalProbe* probe) override;
+
   protected:
     /** Run the full platform evaluation for a loop body. */
     platform::Evaluation evaluate(
@@ -47,6 +56,10 @@ class SimMeasurementBase : public Measurement
     const isa::InstructionLibrary& _lib;
     std::shared_ptr<const platform::Platform> _platform;
     std::uint64_t _minCycles = 4096;
+
+  private:
+    /** Active capture sink during measureWithProbe(); else null. */
+    signal::SignalProbe* _probe = nullptr;
 };
 
 /** Average power, the ARM-energy-probe analog (Figures 5 and 6). */

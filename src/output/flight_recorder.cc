@@ -1,0 +1,115 @@
+#include "output/flight_recorder.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "signal/waveform_io.hh"
+#include "util/fileutil.hh"
+#include "util/logging.hh"
+
+namespace gest {
+namespace output {
+
+FlightRecorder::FlightRecorder(
+    std::string run_dir, int top_k,
+    std::unique_ptr<measure::Measurement> measurement)
+    : _runDir(std::move(run_dir)),
+      _topK(static_cast<std::size_t>(top_k)),
+      _measurement(std::move(measurement))
+{
+    if (top_k < 1)
+        fatal("flight recorder needs top_k >= 1, got ", top_k);
+    if (!_measurement)
+        fatal("flight recorder needs a measurement instance");
+}
+
+bool
+FlightRecorder::qualifies(double fitness) const
+{
+    if (_entries.size() < _topK)
+        return true;
+    return fitness > _entries.back().fitness;
+}
+
+bool
+FlightRecorder::contains(std::uint64_t id) const
+{
+    for (const Entry& e : _entries) {
+        if (e.id == id)
+            return true;
+    }
+    return false;
+}
+
+void
+FlightRecorder::onGenerationEvaluated(const core::Population& pop,
+                                      const core::GenerationRecord& record)
+{
+    for (const core::Individual& ind : pop.individuals) {
+        if (!ind.evaluated || !qualifies(ind.fitness) ||
+            contains(ind.id))
+            continue;
+
+        // One instrumented re-run on the private clone. The simulated
+        // targets are deterministic, so this reproduces exactly the
+        // measurement the GA already scored — now with signals.
+        Entry entry;
+        entry.id = ind.id;
+        entry.generation = record.generation;
+        entry.fitness = ind.fitness;
+        entry.measurements =
+            _measurement->measureWithProbe(ind.code, &entry.probe)
+                .values;
+        ++_captures;
+
+        // Insert keeping strongest-first order, then trim to the bound.
+        const auto pos = std::upper_bound(
+            _entries.begin(), _entries.end(), entry.fitness,
+            [](double f, const Entry& e) { return f > e.fitness; });
+        _entries.insert(pos, std::move(entry));
+        if (_entries.size() > _topK)
+            _entries.pop_back();
+    }
+}
+
+std::vector<std::string>
+FlightRecorder::seal()
+{
+    const std::string dir = _runDir + "/waveforms";
+    ensureDir(dir);
+
+    std::vector<std::string> files;
+    std::string index = "# gest-waveform-index v1\n"
+                        "rank,id,generation,fitness,csv,json,spectrum\n";
+    int rank = 1;
+    for (const Entry& e : _entries) {
+        const std::string basename = std::to_string(e.id);
+        const signal::WaveformArtifacts art =
+            signal::writeWaveformArtifacts(dir, basename, e.probe);
+        char fitness_text[40];
+        std::snprintf(fitness_text, sizeof(fitness_text), "%.17g",
+                      e.fitness);
+        index += std::to_string(rank) + "," + std::to_string(e.id) +
+                 "," + std::to_string(e.generation) + "," +
+                 fitness_text + "," + basename + ".csv," + basename +
+                 ".json," +
+                 (art.spectrumPath.empty()
+                      ? std::string()
+                      : basename + "_spectrum.csv") +
+                 "\n";
+        files.push_back(art.csvPath);
+        files.push_back(art.jsonPath);
+        if (!art.spectrumPath.empty())
+            files.push_back(art.spectrumPath);
+        ++rank;
+    }
+    const std::string index_path = dir + "/index.csv";
+    writeFile(index_path, index);
+    files.insert(files.begin(), index_path);
+    debug("flight recorder sealed ", _entries.size(),
+          " captures into ", dir);
+    return files;
+}
+
+} // namespace output
+} // namespace gest

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "signal/signal_probe.hh"
 #include "util/logging.hh"
 
 namespace gest {
@@ -65,15 +66,18 @@ PdnModel::PdnModel(PdnConfig cfg) : _cfg(std::move(cfg))
 
 VoltageTrace
 PdnModel::simulate(const std::vector<double>& current_amps,
-                   double freq_ghz, std::size_t warmup_cycles) const
+                   double freq_ghz, std::size_t warmup_cycles,
+                   signal::SignalProbe* probe) const
 {
-    return simulateAt(current_amps, freq_ghz, _cfg.vdd, warmup_cycles);
+    return simulateAt(current_amps, freq_ghz, _cfg.vdd, warmup_cycles,
+                      probe);
 }
 
 VoltageTrace
 PdnModel::simulateAt(const std::vector<double>& current_amps,
                      double freq_ghz, double vs,
-                     std::size_t warmup_cycles) const
+                     std::size_t warmup_cycles,
+                     signal::SignalProbe* probe) const
 {
     if (freq_ghz <= 0.0)
         fatal("PDN simulation needs a positive clock frequency");
@@ -81,6 +85,9 @@ PdnModel::simulateAt(const std::vector<double>& current_amps,
     VoltageTrace out;
     out.volts.reserve(current_amps.size());
     if (current_amps.empty()) {
+        // No load samples: the die sits at the supply. Keep every
+        // summary field defined so downstream consumers (Vmin sweeps,
+        // fitness functions) never read uninitialized state.
         out.vMin = out.vMax = out.vAvg = vs;
         return out;
     }
@@ -121,11 +128,18 @@ PdnModel::simulateAt(const std::vector<double>& current_amps,
     }
 
     if (measured == 0) {
+        // Unreachable with the warmup clamp above (any non-empty trace
+        // measures at least its second half), but kept as a defined
+        // fallback rather than UB if the clamp policy ever changes.
         out.vMin = out.vMax = out.vAvg = out.volts.back();
     } else {
         out.vMin = v_min;
         out.vMax = v_max;
         out.vAvg = v_sum / static_cast<double>(measured);
+    }
+    if (probe) {
+        probe->recordWaveform("pdn_voltage_v", "V", freq_ghz * 1e9,
+                              out.volts, warmup_cycles);
     }
     return out;
 }

@@ -26,6 +26,11 @@
 #include <vector>
 
 namespace gest {
+
+namespace signal {
+class SignalProbe;
+} // namespace signal
+
 namespace pdn {
 
 /** Electrical parameters of the PDN. */
@@ -90,14 +95,24 @@ class PdnModel
     /**
      * Simulate the die voltage for a per-cycle load-current trace.
      *
+     * Degenerate inputs have defined results: an empty trace yields a
+     * flat trace pinned at the supply (vMin = vMax = vAvg = supply, no
+     * samples); a warmup window reaching past the trace is clamped to
+     * its first half, so even a single-sample trace produces one
+     * measured sample.
+     *
      * @param current_amps load current per CPU cycle (A)
      * @param freq_ghz CPU clock in GHz (sets the timestep)
      * @param warmup_cycles cycles excluded from the min/max statistics
      *        while the network settles
+     * @param probe when non-null, the die-voltage trace (which the
+     *        scalar result otherwise discards) is recorded as the
+     *        `pdn_voltage_v` waveform with its warmup window
      */
     VoltageTrace simulate(const std::vector<double>& current_amps,
                           double freq_ghz,
-                          std::size_t warmup_cycles = 256) const;
+                          std::size_t warmup_cycles = 256,
+                          signal::SignalProbe* probe = nullptr) const;
 
     /**
      * Simulate with the supply voltage overridden to @p vs (for V_MIN
@@ -106,7 +121,8 @@ class PdnModel
      */
     VoltageTrace simulateAt(const std::vector<double>& current_amps,
                             double freq_ghz, double vs,
-                            std::size_t warmup_cycles = 256) const;
+                            std::size_t warmup_cycles = 256,
+                            signal::SignalProbe* probe = nullptr) const;
 
     /** The configuration in use. */
     const PdnConfig& config() const { return _cfg; }

@@ -15,7 +15,10 @@ double
 toneAmplitude(const std::vector<double>& samples, double sample_rate_hz,
               double tone_hz)
 {
-    if (samples.empty())
+    // Goertzel needs no power-of-two length; any n works. Below two
+    // samples there is no AC content to estimate — the one sample is
+    // its own mean — so return 0 explicitly.
+    if (samples.size() < 2)
         return 0.0;
     if (sample_rate_hz <= 0.0 || tone_hz < 0.0)
         fatal("toneAmplitude needs a positive sample rate and a "
@@ -65,6 +68,16 @@ dominantTone(const std::vector<double>& samples, double sample_rate_hz,
 {
     if (steps < 2 || hi_hz <= lo_hz)
         fatal("dominantTone needs steps >= 2 and hi > lo");
+    if (sample_rate_hz <= 0.0)
+        fatal("dominantTone needs a positive sample rate");
+    // Clamp the scan under Nyquist instead of letting the first
+    // above-Nyquist tone abort the whole sweep.
+    if (hi_hz > sample_rate_hz / 2.0)
+        hi_hz = sample_rate_hz / 2.0;
+    if (hi_hz <= lo_hz)
+        fatal("dominantTone scan band [", lo_hz, ", ", hi_hz,
+              "] Hz is empty after clamping to Nyquist for sample "
+              "rate ", sample_rate_hz, " Hz");
     double best_tone = lo_hz;
     double best_amp = -1.0;
     for (int i = 0; i < steps; ++i) {

@@ -20,8 +20,10 @@ namespace pdn {
 /**
  * Amplitude of the @p tone_hz component of @p samples taken at
  * @p sample_rate_hz (Goertzel). The DC component is removed first so a
- * large sustained current does not leak into the bin. @return the
- * amplitude in the samples' unit (A for current traces).
+ * large sustained current does not leak into the bin. Works on any
+ * trace length (no power-of-two requirement); traces shorter than two
+ * samples have no AC content and return 0. @return the amplitude in
+ * the samples' unit (A for current traces).
  */
 double toneAmplitude(const std::vector<double>& samples,
                      double sample_rate_hz, double tone_hz);
@@ -33,7 +35,8 @@ std::vector<double> amplitudeSpectrum(
 
 /**
  * Frequency (Hz) of the strongest component found by scanning
- * [lo_hz, hi_hz] in @p steps steps.
+ * [lo_hz, hi_hz] in @p steps steps. A band reaching past Nyquist is
+ * clamped to it; fatal() if nothing of the band remains.
  */
 double dominantTone(const std::vector<double>& samples,
                     double sample_rate_hz, double lo_hz, double hi_hz,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "signal/signal_probe.hh"
 #include "util/logging.hh"
 
 namespace gest {
@@ -97,11 +98,15 @@ Platform::chipCurrentWithPhases(
 Evaluation
 Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
                    const isa::InstructionLibrary& lib, bool want_voltage,
-                   std::uint64_t min_cycles) const
+                   std::uint64_t min_cycles,
+                   signal::SignalProbe* probe) const
 {
     if (code.empty())
         fatal("cannot evaluate an empty individual on platform '", _name,
               "'");
+    if (want_voltage && !_pdn)
+        fatal("platform '", _name,
+              "' has no PDN model; voltage noise cannot be measured");
 
     Evaluation eval;
 
@@ -109,6 +114,9 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
     arch::LoopSimulator sim(_cpu, _init);
     eval.sim = sim.runForCycles(body, min_cycles);
     eval.ipc = eval.sim.ipc;
+
+    if (probe)
+        arch::captureActivitySignals(eval.sim, _cpu.freqGHz, *probe);
 
     const power::PowerModel power_model(_energy, _cpu.freqGHz);
 
@@ -128,19 +136,63 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
     eval.corePowerWatts =
         core_dynamic + em.leakageWatts(eval.dieTempC, _chip.vdd);
 
-    if (want_voltage) {
-        if (!_pdn)
-            fatal("platform '", _name,
-                  "' has no PDN model; voltage noise cannot be measured");
+    // The PDN transient runs for want_voltage (as always) and also
+    // under a probe on PDN platforms, so power-only evaluations still
+    // capture the full voltage waveform. Capture never feeds back: the
+    // Evaluation fields are filled exactly as without a probe.
+    const bool run_pdn = _pdn && (want_voltage || probe != nullptr);
+    if (run_pdn) {
         const power::PowerTrace trace =
-            power_model.trace(eval.sim, _chip.vdd, eval.dieTempC);
+            power_model.trace(eval.sim, _chip.vdd, eval.dieTempC, probe);
         const std::vector<double> amps = chipCurrent(trace);
+        if (probe)
+            probe->recordWaveform("chip_current_a", "A",
+                                  _cpu.freqGHz * 1e9, amps);
         const pdn::VoltageTrace volts =
-            _pdn->simulate(amps, _cpu.freqGHz);
-        eval.vMin = volts.vMin;
-        eval.vMax = volts.vMax;
-        eval.peakToPeakV = volts.peakToPeak();
-        eval.hasVoltage = true;
+            _pdn->simulate(amps, _cpu.freqGHz, 256, probe);
+        if (want_voltage) {
+            eval.vMin = volts.vMin;
+            eval.vMax = volts.vMax;
+            eval.peakToPeakV = volts.peakToPeak();
+            eval.hasVoltage = true;
+        }
+        if (probe) {
+            probe->annotate("v_min", volts.vMin);
+            probe->annotate("v_max", volts.vMax);
+            probe->annotate("peak_to_peak_v", volts.peakToPeak());
+            probe->annotate("pdn_resonance_hz",
+                            _pdn->config().resonanceHz());
+            probe->annotate("pdn_q", _pdn->config().qFactor());
+        }
+    } else if (probe) {
+        // No PDN on this platform: still capture the core power and
+        // current waveforms the trace computes.
+        power_model.trace(eval.sim, _chip.vdd, eval.dieTempC, probe);
+    }
+
+    if (probe) {
+        // Heat-up transient: settle the package at idle power, then
+        // apply the virus's chip power for the probe's thermal window
+        // — the simulated counterpart of polling the temperature
+        // sensor through a heat-up run (§V).
+        thermal::ThermalModel tm = _thermal;
+        double idle_watts = 0.0;
+        chipTempC(0.0, &idle_watts);
+        tm.step(idle_watts, 3600.0);
+        const signal::SignalProbe::Config& pc = probe->config();
+        tm.captureTransient(chip_watts, pc.thermalWindowSeconds,
+                            pc.thermalIntervals, probe);
+
+        probe->annotate("ipc", eval.ipc);
+        probe->annotate("core_power_w", eval.corePowerWatts);
+        probe->annotate("chip_power_w", eval.chipPowerWatts);
+        probe->annotate("die_temp_c", eval.dieTempC);
+        probe->annotate("vdd", _chip.vdd);
+        probe->annotate("freq_ghz", _cpu.freqGHz);
+        probe->annotate("cycles",
+                        static_cast<double>(eval.sim.cycles));
+        probe->annotate("instructions",
+                        static_cast<double>(eval.sim.instructions));
     }
     return eval;
 }

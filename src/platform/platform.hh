@@ -25,6 +25,11 @@
 #include "thermal/thermal_model.hh"
 
 namespace gest {
+
+namespace signal {
+class SignalProbe;
+} // namespace signal
+
 namespace platform {
 
 /** Chip-level constants around the core models. */
@@ -113,23 +118,36 @@ class Platform
     /**
      * Evaluate a loop body end to end.
      *
+     * With a null @p probe (the default, and the whole GA hot path)
+     * the capture layer costs one predicted branch per site. With a
+     * probe, every signal the models compute along the way is also
+     * recorded: interval IPC and cache/mispredict marks from the
+     * timing sim, the per-cycle core power/current and chip current
+     * traces, the PDN voltage transient (on PDN platforms, even for
+     * power-only evaluations), a die-temperature heat-up transient,
+     * and the scalar results as annotations. Capture only observes —
+     * the returned Evaluation is bit-identical with or without it.
+     *
      * @param code instruction instances drawn from @p lib
      * @param lib the library the instances reference
      * @param want_voltage also run the PDN transient (slower)
      * @param min_cycles minimum simulated post-warmup cycles
+     * @param probe optional signal capture sink
      */
     Evaluation evaluate(const std::vector<isa::InstructionInstance>& code,
                         const isa::InstructionLibrary& lib,
                         bool want_voltage = false,
-                        std::uint64_t min_cycles = 4096) const;
+                        std::uint64_t min_cycles = 4096,
+                        signal::SignalProbe* probe = nullptr) const;
 
     /** Evaluate against the platform's own library. */
     Evaluation
     evaluate(const std::vector<isa::InstructionInstance>& code,
              bool want_voltage = false,
-             std::uint64_t min_cycles = 4096) const
+             std::uint64_t min_cycles = 4096,
+             signal::SignalProbe* probe = nullptr) const
     {
-        return evaluate(code, _library, want_voltage, min_cycles);
+        return evaluate(code, _library, want_voltage, min_cycles, probe);
     }
 
     /** Die temperature of the idle chip (C). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "signal/signal_probe.hh"
 #include "util/logging.hh"
 
 namespace gest {
@@ -43,7 +44,7 @@ PowerModel::cycleEnergyNj(const arch::CycleStats& stats) const
 
 PowerTrace
 PowerModel::trace(const arch::SimResult& sim, double vdd,
-                  double temp_c) const
+                  double temp_c, signal::SignalProbe* probe) const
 {
     PowerTrace out;
     out.freqGHz = _freqGHz;
@@ -73,6 +74,12 @@ PowerModel::trace(const arch::SimResult& sim, double vdd,
         out.avgWatts = sum / static_cast<double>(out.watts.size());
         out.peakWatts = peak;
         out.minWatts = low;
+    }
+    if (probe && !out.watts.empty()) {
+        const double rate_hz = _freqGHz * 1e9;
+        probe->recordWaveform("core_power_w", "W", rate_hz, out.watts);
+        probe->recordWaveform("core_current_a", "A", rate_hz,
+                              out.currentAmps());
     }
     return out;
 }

@@ -12,6 +12,11 @@
 #include "power/energy_model.hh"
 
 namespace gest {
+
+namespace signal {
+class SignalProbe;
+} // namespace signal
+
 namespace power {
 
 /** Per-cycle power trace plus summary statistics. */
@@ -48,9 +53,13 @@ class PowerModel
      * @param sim simulator output
      * @param vdd supply voltage (V)
      * @param temp_c die temperature for the leakage term (degrees C)
+     * @param probe when non-null, the per-cycle core power and current
+     *        are recorded as the `core_power_w` / `core_current_a`
+     *        waveforms (capture only; the returned trace is unchanged)
      */
     PowerTrace trace(const arch::SimResult& sim, double vdd,
-                     double temp_c) const;
+                     double temp_c,
+                     signal::SignalProbe* probe = nullptr) const;
 
     /** Average power without materializing the trace (fast path). */
     double averageWatts(const arch::SimResult& sim, double vdd,

@@ -1,0 +1,146 @@
+#include "signal/analysis.hh"
+
+#include <cmath>
+
+#include "pdn/spectrum.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace signal {
+
+namespace {
+
+/**
+ * Time for @p w to cover 63.2% of its start-to-end excursion, with
+ * linear interpolation between the crossing samples. 0 for traces
+ * shorter than two samples or with no net excursion.
+ */
+double
+riseTimeConstant(const Waveform& w)
+{
+    if (w.samples.size() < 2 || w.sampleRateHz <= 0.0)
+        return 0.0;
+    const double start = w.samples.front();
+    const double end = w.samples.back();
+    const double target = start + (end - start) * 0.632;
+    if (std::fabs(end - start) < 1e-12)
+        return 0.0;
+    const bool rising = end > start;
+    for (std::size_t i = 1; i < w.samples.size(); ++i) {
+        const bool crossed = rising ? w.samples[i] >= target
+                                    : w.samples[i] <= target;
+        if (!crossed)
+            continue;
+        const double prev = w.samples[i - 1];
+        const double span = w.samples[i] - prev;
+        const double frac =
+            std::fabs(span) < 1e-30 ? 0.0 : (target - prev) / span;
+        return (static_cast<double>(i - 1) + frac) / w.sampleRateHz;
+    }
+    return w.timeAt(w.samples.size() - 1);
+}
+
+double
+dutyCycle(const Waveform& w)
+{
+    if (w.samples.empty())
+        return 0.0;
+    const double lo = w.minValue();
+    const double hi = w.maxValue();
+    if (hi - lo < 1e-12)
+        return 1.0; // flat trace: always "on"
+    const double mid = (lo + hi) / 2.0;
+    std::size_t above = 0;
+    std::size_t counted = 0;
+    for (std::size_t i = w.warmupSamples; i < w.samples.size(); ++i) {
+        ++counted;
+        if (w.samples[i] > mid)
+            ++above;
+    }
+    if (counted == 0)
+        return 0.0;
+    return static_cast<double>(above) / static_cast<double>(counted);
+}
+
+} // namespace
+
+ProbeSummary
+summarizeProbe(const SignalProbe& probe)
+{
+    ProbeSummary s;
+    s.ipc = probe.annotationOr("ipc", 0.0);
+    s.corePowerWatts = probe.annotationOr("core_power_w", 0.0);
+    s.chipPowerWatts = probe.annotationOr("chip_power_w", 0.0);
+    s.dieTempC = probe.annotationOr("die_temp_c", 0.0);
+    s.pdnResonanceHz = probe.annotationOr("pdn_resonance_hz", 0.0);
+
+    if (probe.hasAnnotation("v_min")) {
+        s.hasVoltage = true;
+        s.vMin = probe.annotationOr("v_min", 0.0);
+        s.vMax = probe.annotationOr("v_max", 0.0);
+        s.peakToPeakV = probe.annotationOr("peak_to_peak_v", 0.0);
+        s.droopDepthV = probe.annotationOr("vdd", s.vMax) - s.vMin;
+    }
+
+    const Waveform* current = probe.find("chip_current_a");
+    if (current && current->samples.size() >= 2 &&
+        s.pdnResonanceHz > 0.0) {
+        const double rate = current->sampleRateHz;
+        const double lo = s.pdnResonanceHz * 0.1;
+        double hi = s.pdnResonanceHz * 4.0;
+        if (hi > rate / 2.0)
+            hi = rate / 2.0;
+        if (lo < hi)
+            s.dominantToneHz =
+                pdn::dominantTone(current->samples, rate, lo, hi, 96);
+    }
+
+    if (const Waveform* thermal = probe.find("die_temp_c"))
+        s.thermalTauSeconds = riseTimeConstant(*thermal);
+    if (const Waveform* power = probe.find("core_power_w"))
+        s.powerDutyCycle = dutyCycle(*power);
+    return s;
+}
+
+std::string
+formatProbeSummary(const ProbeSummary& s, const SignalProbe& probe)
+{
+    std::string out;
+    std::size_t samples = 0;
+    for (const Waveform& w : probe.waveforms())
+        samples += w.samples.size();
+    out += "signals: " + std::to_string(probe.waveforms().size()) +
+           " waveforms, " + std::to_string(samples) + " samples, " +
+           std::to_string(probe.marks().size()) + " event marks\n";
+    out += "  ipc              " + formatFixed(s.ipc, 3) + "\n";
+    out += "  core power       " + formatFixed(s.corePowerWatts, 3) +
+           " W (duty cycle " + formatFixed(s.powerDutyCycle, 2) + ")\n";
+    out += "  chip power       " + formatFixed(s.chipPowerWatts, 3) +
+           " W\n";
+    out += "  die temperature  " + formatFixed(s.dieTempC, 2) + " C";
+    if (s.thermalTauSeconds > 0.0)
+        out += " (heat-up tau " + formatFixed(s.thermalTauSeconds, 1) +
+               " s)";
+    out += "\n";
+    if (s.hasVoltage) {
+        out += "  die voltage      min " + formatFixed(s.vMin, 4) +
+               " V, max " + formatFixed(s.vMax, 4) +
+               " V, peak-to-peak " +
+               formatFixed(s.peakToPeakV * 1e3, 1) + " mV\n";
+        out += "  droop depth      " +
+               formatFixed(s.droopDepthV * 1e3, 1) +
+               " mV below nominal\n";
+    }
+    if (s.pdnResonanceHz > 0.0) {
+        out += "  resonance        PDN " +
+               formatFixed(s.pdnResonanceHz / 1e6, 1) + " MHz";
+        if (s.dominantToneHz > 0.0)
+            out += ", dominant current tone " +
+                   formatFixed(s.dominantToneHz / 1e6, 1) + " MHz";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace signal
+} // namespace gest

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deriving the paper's headline signal metrics from a capture.
+ *
+ * These are the numbers an experimenter reads off the instruments: the
+ * droop depth and resonance frequency off the oscilloscope trace (§VI),
+ * the heat-up time constant off the temperature log (§V) and the power
+ * duty cycle off the power rail. `gest probe` prints them as its
+ * terminal summary; tests use them to assert the physics of captured
+ * waveforms.
+ */
+
+#ifndef GEST_SIGNAL_ANALYSIS_HH
+#define GEST_SIGNAL_ANALYSIS_HH
+
+#include <string>
+
+#include "signal/signal_probe.hh"
+
+namespace gest {
+namespace signal {
+
+/** Headline metrics derived from one capture. */
+struct ProbeSummary
+{
+    /** Scalars copied from the evaluation annotations. */
+    double ipc = 0.0;
+    double corePowerWatts = 0.0;
+    double chipPowerWatts = 0.0;
+    double dieTempC = 0.0;
+
+    /** Voltage metrics; valid only when hasVoltage. */
+    bool hasVoltage = false;
+    double vMin = 0.0;
+    double vMax = 0.0;
+    double peakToPeakV = 0.0;
+
+    /** Worst droop below the nominal supply (V, positive). */
+    double droopDepthV = 0.0;
+
+    /** PDN first-order resonance from the model's configuration (Hz). */
+    double pdnResonanceHz = 0.0;
+
+    /**
+     * Frequency of the strongest chip-current tone in the band around
+     * the PDN resonance (Hz); 0 when no current waveform or PDN. A
+     * dI/dt virus shows this within a few percent of pdnResonanceHz.
+     */
+    double dominantToneHz = 0.0;
+
+    /**
+     * Heat-up time constant (s): time for the captured thermal
+     * transient to cover 63.2% of its total rise; 0 without a thermal
+     * waveform.
+     */
+    double thermalTauSeconds = 0.0;
+
+    /**
+     * Fraction of core-power samples above the midpoint between the
+     * trace's min and max. ~1 for a sustained power virus, ~0.5 for a
+     * square-wave dI/dt pattern, 0 without a power waveform.
+     */
+    double powerDutyCycle = 0.0;
+};
+
+/** Derive the summary metrics from a capture. */
+ProbeSummary summarizeProbe(const SignalProbe& probe);
+
+/** Render the summary as aligned terminal text. */
+std::string formatProbeSummary(const ProbeSummary& summary,
+                               const SignalProbe& probe);
+
+} // namespace signal
+} // namespace gest
+
+#endif // GEST_SIGNAL_ANALYSIS_HH

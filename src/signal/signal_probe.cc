@@ -1,0 +1,178 @@
+#include "signal/signal_probe.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gest {
+namespace signal {
+
+namespace {
+
+/** First sample index the summary statistics cover. */
+std::size_t
+summaryStart(const Waveform& w)
+{
+    // A warmup window that swallows the whole capture degrades to
+    // "summarize the second half", matching PdnModel's clamp.
+    if (w.warmupSamples >= w.samples.size())
+        return w.samples.size() / 2;
+    return w.warmupSamples;
+}
+
+} // namespace
+
+double
+Waveform::minValue() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::min_element(samples.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     summaryStart(*this)),
+                             samples.end());
+}
+
+double
+Waveform::maxValue() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::max_element(samples.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     summaryStart(*this)),
+                             samples.end());
+}
+
+double
+Waveform::meanValue() const
+{
+    if (samples.empty())
+        return 0.0;
+    const std::size_t start = summaryStart(*this);
+    double sum = 0.0;
+    for (std::size_t i = start; i < samples.size(); ++i)
+        sum += samples[i];
+    return sum / static_cast<double>(samples.size() - start);
+}
+
+double
+Waveform::timeAt(std::size_t index) const
+{
+    if (sampleRateHz <= 0.0)
+        return 0.0;
+    return static_cast<double>(index) / sampleRateHz;
+}
+
+SignalProbe::SignalProbe() : SignalProbe(Config{}) {}
+
+SignalProbe::SignalProbe(Config cfg) : _cfg(cfg)
+{
+    if (_cfg.maxSamplesPerSignal == 0)
+        fatal("signal probe: maxSamplesPerSignal must be positive");
+    if (_cfg.ipcIntervalCycles == 0)
+        fatal("signal probe: ipcIntervalCycles must be positive");
+    if (_cfg.thermalIntervals < 1)
+        fatal("signal probe: thermalIntervals must be positive");
+    if (_cfg.thermalWindowSeconds <= 0.0)
+        fatal("signal probe: thermalWindowSeconds must be positive");
+}
+
+Waveform&
+SignalProbe::recordWaveform(const std::string& name,
+                            const std::string& unit,
+                            double sample_rate_hz,
+                            const std::vector<double>& samples,
+                            std::size_t warmup_samples)
+{
+    if (sample_rate_hz <= 0.0)
+        fatal("signal probe: waveform '", name,
+              "' needs a positive sample rate");
+    Waveform* slot = nullptr;
+    for (Waveform& w : _waveforms) {
+        if (w.name == name) {
+            slot = &w;
+            break;
+        }
+    }
+    if (!slot) {
+        _waveforms.emplace_back();
+        slot = &_waveforms.back();
+        slot->name = name;
+    }
+    slot->unit = unit;
+    slot->sampleRateHz = sample_rate_hz;
+    const std::size_t kept =
+        std::min(samples.size(), _cfg.maxSamplesPerSignal);
+    slot->samples.assign(samples.begin(),
+                         samples.begin() +
+                             static_cast<std::ptrdiff_t>(kept));
+    slot->dropped = samples.size() - kept;
+    slot->warmupSamples = std::min(warmup_samples, kept);
+    return *slot;
+}
+
+void
+SignalProbe::mark(const std::string& kind, std::size_t index,
+                  double time_s)
+{
+    if (_marks.size() >= _cfg.maxMarks) {
+        ++_droppedMarks;
+        return;
+    }
+    _marks.push_back({kind, index, time_s});
+}
+
+void
+SignalProbe::annotate(const std::string& key, double value)
+{
+    for (auto& [k, v] : _annotations) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    _annotations.emplace_back(key, value);
+}
+
+const Waveform*
+SignalProbe::find(const std::string& name) const
+{
+    for (const Waveform& w : _waveforms) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+double
+SignalProbe::annotationOr(const std::string& key, double fallback) const
+{
+    for (const auto& [k, v] : _annotations) {
+        if (k == key)
+            return v;
+    }
+    return fallback;
+}
+
+bool
+SignalProbe::hasAnnotation(const std::string& key) const
+{
+    for (const auto& [k, v] : _annotations) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+void
+SignalProbe::clear()
+{
+    _waveforms.clear();
+    _marks.clear();
+    _droppedMarks = 0;
+    _annotations.clear();
+}
+
+} // namespace signal
+} // namespace gest

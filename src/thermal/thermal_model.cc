@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "signal/signal_probe.hh"
 #include "util/logging.hh"
 
 namespace gest {
@@ -110,6 +111,30 @@ ThermalModel::step(double watts, double seconds)
         }
         _temps = next;
     }
+}
+
+std::vector<double>
+ThermalModel::captureTransient(double watts, double seconds,
+                               int samples, signal::SignalProbe* probe)
+{
+    if (samples < 1)
+        fatal("thermal transient capture needs at least one sample");
+    if (seconds <= 0.0)
+        fatal("thermal transient capture needs a positive window");
+    std::vector<double> temps;
+    temps.reserve(static_cast<std::size_t>(samples) + 1);
+    temps.push_back(dieTemp());
+    const double dt = seconds / samples;
+    for (int s = 0; s < samples; ++s) {
+        step(watts, dt);
+        temps.push_back(dieTemp());
+    }
+    if (probe) {
+        probe->recordWaveform("die_temp_c", "C",
+                              static_cast<double>(samples) / seconds,
+                              temps);
+    }
+    return temps;
 }
 
 void

@@ -20,6 +20,11 @@
 #include "power/energy_model.hh"
 
 namespace gest {
+
+namespace signal {
+class SignalProbe;
+} // namespace signal
+
 namespace thermal {
 
 /**
@@ -67,6 +72,18 @@ class ThermalModel
 
     /** Advance the transient state by @p seconds under @p watts. */
     void step(double watts, double seconds);
+
+    /**
+     * Advance the transient by @p seconds under @p watts in @p samples
+     * equal steps, recording the die temperature after each as the
+     * `die_temp_c` waveform (plus the starting temperature as sample
+     * 0) when @p probe is non-null. This is the simulated counterpart
+     * of polling the i2c sensor during a heat-up measurement (§V).
+     * @return the die temperatures recorded (samples + 1 values).
+     */
+    std::vector<double> captureTransient(double watts, double seconds,
+                                         int samples,
+                                         signal::SignalProbe* probe);
 
     /** Reset transient state to ambient everywhere. */
     void reset();

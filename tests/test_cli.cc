@@ -337,6 +337,66 @@ TEST_F(CliTest, AnalyticsOffIsBitIdenticalAndSuppressesArtifacts)
     EXPECT_NE(output.find("analytics"), std::string::npos);
 }
 
+TEST_F(CliTest, WaveformsSealedAndProbeReMeasures)
+{
+    // A PDN-instrumented search with the flight recorder on: the run
+    // seals waveform artifacts, and `gest probe` re-measures the
+    // champion with full capture.
+    writeFile(_dir + "/didt.xml", R"(
+<gest_configuration>
+  <ga population_size="8" individual_size="6" mutation_rate="0.2"
+      tournament_size="3" generations="3" seed="6"/>
+  <library name="x86"/>
+  <measurement class="SimVoltageNoiseMeasurement">
+    <config platform="athlon-x4" min_cycles="1024"/>
+  </measurement>
+  <fitness class="DefaultFitness"/>
+  <output directory="didt_out" waveforms="2" stats="false"/>
+</gest_configuration>
+)");
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/didt.xml' --quiet", output,
+                     _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("waveform"), std::string::npos);
+
+    const std::string run_dir = _dir + "/didt_out";
+    ASSERT_TRUE(fileExists(run_dir + "/waveforms/index.csv"));
+    const std::string index = readFile(run_dir + "/waveforms/index.csv");
+    EXPECT_NE(index.find("# gest-waveform-index v1"),
+              std::string::npos);
+
+    ASSERT_EQ(runCli("probe '" + _dir + "/didt.xml' '" + run_dir + "'",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("signals:"), std::string::npos);
+    EXPECT_NE(output.find("droop depth"), std::string::npos);
+    EXPECT_NE(output.find("resonance"), std::string::npos);
+    EXPECT_TRUE(dirExists(run_dir + "/probe"));
+    const auto probe_files = listFiles(run_dir + "/probe");
+    EXPECT_GE(probe_files.size(), 3u); // csv + json + spectrum
+
+    // probe also accepts a population file directly, with --out.
+    ASSERT_EQ(runCli("probe '" + _dir + "/didt.xml' '" + run_dir +
+                         "/population_2.pop' --out '" + _dir +
+                         "/probe_out'",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_TRUE(dirExists(_dir + "/probe_out"));
+}
+
+TEST_F(CliTest, ProbeOnBadTargetFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("probe '" + _dir + "/config.xml' /nonexistent",
+                     output, _dir),
+              0);
+    EXPECT_NE(output.find("fatal:"), std::string::npos);
+}
+
 TEST_F(CliTest, ExplainOnBadRunDirectoryFails)
 {
     std::string output;

@@ -139,6 +139,51 @@ TEST(SimBase, BadMinCyclesIsFatal)
     EXPECT_THROW(meas->init(&doc.root()), FatalError);
 }
 
+TEST(SimBase, MinCyclesBoundaryAt256)
+{
+    registerSimMeasurements();
+    const isa::InstructionLibrary lib = isa::armLikeLibrary();
+
+    // Exactly the floor is accepted...
+    auto meas = MeasurementRegistry::instance().create(
+        "SimPowerMeasurement", lib);
+    const xml::Document ok = xml::parse(
+        "<config platform=\"cortex-a7\" min_cycles=\"256\"/>");
+    meas->init(&ok.root());
+    EXPECT_GT(meas->measure(smallLoop(lib)).values[0], 0.0);
+
+    // ...one below it is rejected with the boundary in the message.
+    auto below = MeasurementRegistry::instance().create(
+        "SimPowerMeasurement", lib);
+    const xml::Document bad = xml::parse(
+        "<config platform=\"cortex-a7\" min_cycles=\"255\"/>");
+    try {
+        below->init(&bad.root());
+        FAIL() << "min_cycles=255 must be fatal";
+    } catch (const FatalError& err) {
+        EXPECT_NE(std::string(err.what()).find("256"),
+                  std::string::npos);
+    }
+}
+
+TEST(SimVoltageNoise, NoPdnErrorNamesAPdnPlatform)
+{
+    // The refusal must tell the user what to do: name a platform that
+    // does carry a PDN model.
+    const auto a15 = platform::cortexA15Platform();
+    SimVoltageNoiseMeasurement meas(a15->library(), a15);
+    const auto loop = std::vector<isa::InstructionInstance>{
+        a15->library().makeInstance("NOP", {})};
+    try {
+        meas.measure(loop);
+        FAIL() << "voltage noise without a PDN must be fatal";
+    } catch (const FatalError& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("athlon-x4"), std::string::npos) << what;
+        EXPECT_NE(what.find("cortex-a15"), std::string::npos) << what;
+    }
+}
+
 TEST(SimBase, UnknownPlatformIsFatal)
 {
     registerSimMeasurements();

@@ -130,6 +130,35 @@ TEST(PdnModel, EmptyTraceIsNominal)
     EXPECT_DOUBLE_EQ(trace.peakToPeak(), 0.0);
 }
 
+TEST(PdnModel, SingleSampleTraceIsWellDefined)
+{
+    // One cycle of current: the warmup clamp degrades to "measure the
+    // whole (second half of the) trace", so the stats stay finite and
+    // bracket the supply sensibly instead of reading uninitialized
+    // accumulators.
+    const PdnModel model(testPdn());
+    const VoltageTrace trace = model.simulate({20.0}, 3.0);
+    EXPECT_EQ(trace.volts.size(), 1u);
+    EXPECT_TRUE(std::isfinite(trace.vMin));
+    EXPECT_TRUE(std::isfinite(trace.vMax));
+    EXPECT_LE(trace.vMin, trace.vMax);
+    EXPECT_LE(trace.vMax, 1.2);
+    EXPECT_GE(trace.peakToPeak(), 0.0);
+}
+
+TEST(PdnModel, WarmupLongerThanTraceIsClamped)
+{
+    // 100 cycles against the default 256-cycle warmup: the clamp
+    // measures the second half rather than nothing.
+    const PdnModel model(testPdn());
+    const VoltageTrace trace =
+        model.simulate(squareWave(100, 10, 5.0, 35.0), 3.0);
+    EXPECT_EQ(trace.volts.size(), 100u);
+    EXPECT_TRUE(std::isfinite(trace.vMin));
+    EXPECT_LT(trace.vMin, 1.2);
+    EXPECT_GT(trace.peakToPeak(), 0.0);
+}
+
 TEST(PdnModel, SimulateAtShiftsSupply)
 {
     const PdnModel model(testPdn());
@@ -273,6 +302,41 @@ TEST(Spectrum, RejectsBadArguments)
     EXPECT_THROW(toneAmplitude(samples, 1e9, 0.9e9), FatalError);
     EXPECT_THROW(dominantTone(samples, 1e9, 2e6, 1e6), FatalError);
     EXPECT_DOUBLE_EQ(toneAmplitude({}, 1e9, 1e6), 0.0);
+}
+
+TEST(Spectrum, WorksOnNonPowerOfTwoLengths)
+{
+    // Goertzel has no FFT length restriction: a prime-length trace
+    // still resolves its tone.
+    const double fs = 3.0e9;
+    std::vector<double> samples(3001);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        samples[i] = 2.5 * std::sin(2.0 * pi * 80e6 *
+                                    static_cast<double>(i) / fs);
+    EXPECT_NEAR(toneAmplitude(samples, fs, 80e6), 2.5, 0.05);
+    EXPECT_LT(toneAmplitude(samples, fs, 160e6), 0.1);
+}
+
+TEST(Spectrum, DegenerateLengthsHaveNoAcContent)
+{
+    EXPECT_DOUBLE_EQ(toneAmplitude({}, 1e9, 1e6), 0.0);
+    EXPECT_DOUBLE_EQ(toneAmplitude({7.0}, 1e9, 1e6), 0.0);
+}
+
+TEST(Spectrum, DominantToneClampsToNyquist)
+{
+    // A scan band reaching past Nyquist is clamped, not fatal...
+    const double fs = 1.0e9;
+    std::vector<double> samples(2048);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        samples[i] = std::sin(2.0 * pi * 100e6 *
+                              static_cast<double>(i) / fs);
+    const double tone = dominantTone(samples, fs, 50e6, 10e9, 128);
+    EXPECT_NEAR(tone, 100e6, 10e6);
+
+    // ...unless nothing of the band survives the clamp.
+    EXPECT_THROW(dominantTone(samples, fs, 0.7e9, 10e9), FatalError);
+    EXPECT_THROW(dominantTone(samples, 0.0, 1e6, 2e6), FatalError);
 }
 
 } // namespace

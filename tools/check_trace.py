@@ -25,9 +25,12 @@ Exit status 0 when the trace is valid; 1 with a message otherwise.
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
+
+ARTIFACT_SRC = None  # set by drive(); copied out by fail() on failure
 
 DRIVE_CONFIG = """<?xml version="1.0"?>
 <gest_configuration>
@@ -44,6 +47,13 @@ DRIVE_CONFIG = """<?xml version="1.0"?>
 
 
 def fail(message):
+    if ARTIFACT_SRC is not None:
+        dest = os.environ.get("GEST_CHECK_ARTIFACT_DIR")
+        if dest:
+            target = os.path.join(dest, "check_trace")
+            shutil.copytree(ARTIFACT_SRC, target, dirs_exist_ok=True)
+            print(f"check_trace: scratch copied to {target}",
+                  file=sys.stderr)
     print(f"check_trace: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
@@ -134,7 +144,9 @@ def validate(path):
 
 
 def drive(gest_binary):
+    global ARTIFACT_SRC
     with tempfile.TemporaryDirectory(prefix="gest-trace-") as work:
+        ARTIFACT_SRC = work
         config = os.path.join(work, "config.xml")
         with open(config, "w", encoding="utf-8") as handle:
             handle.write(DRIVE_CONFIG)
@@ -161,6 +173,7 @@ def drive(gest_binary):
         print(f"check_trace: OK: metrics.json has "
               f"{len(doc['counters'])} counters, "
               f"{len(doc['histograms'])} histograms")
+        ARTIFACT_SRC = None
 
 
 def main(argv):

@@ -4,6 +4,9 @@
  * original Python framework.
  *
  *   gest run <config.xml>      run a GA search from a configuration
+ *   gest probe <config.xml> <run_dir|population>
+ *                              re-measure an individual with full
+ *                              signal capture and seal waveforms
  *   gest report <run_dir>      fitness/phase/cache summary of a run
  *   gest explain <run_dir>     champion ancestry + search dynamics
  *   gest stats <run_dir>       per-generation statistics of a saved run
@@ -29,12 +32,16 @@
 #include <vector>
 
 #include "config/config.hh"
+#include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
 #include "measure/measurement.hh"
 #include "native/native_measurement.hh"
 #include "output/report.hh"
 #include "output/stats.hh"
 #include "platform/platform.hh"
+#include "signal/analysis.hh"
+#include "signal/signal_probe.hh"
+#include "signal/waveform_io.hh"
 #include "util/fileutil.hh"
 #include "util/strutil.hh"
 
@@ -49,6 +56,9 @@ usage()
         stderr,
         "usage:\n"
         "  gest run <config.xml>        run a GA search\n"
+        "  gest probe <config.xml> <run_dir|population>\n"
+        "                               re-measure an individual with "
+        "full signal capture\n"
         "  gest report <run_dir>        summarize a run (works while "
         "in flight)\n"
         "  gest explain <run_dir>       champion ancestry, mix "
@@ -64,6 +74,8 @@ usage()
         "                 --trace [file.json] (write a Chrome trace; "
         "default <output dir>/trace.json)\n"
         "options for report: --json (machine-readable output)\n"
+        "options for probe: --out <dir> (artifact directory; default "
+        "<target>/probe)\n"
         "options for stats/fittest: --library arm|x86|cache-stress\n");
     return 2;
 }
@@ -164,9 +176,90 @@ cmdRun(const std::string& path, const char* threads_override,
         std::printf("trace written to %s (open in chrome://tracing or "
                     "https://ui.perfetto.dev)\n",
                     result.traceFile.c_str());
+    if (!result.waveformFiles.empty())
+        std::printf("waveform captures sealed in %s/waveforms (%zu "
+                    "files; validate with tools/check_waveforms.py)\n",
+                    cfg.outputDirectory.c_str(),
+                    result.waveformFiles.size());
     if (!cfg.outputDirectory.empty())
         std::printf("artifacts recorded in %s\n",
                     cfg.outputDirectory.c_str());
+    return 0;
+}
+
+int
+cmdProbe(const std::string& config_path, const std::string& target,
+         const char* out_override)
+{
+    config::RunConfig cfg = config::loadConfig(config_path);
+    config::registerBuiltins();
+    native::registerNativeMeasurements();
+
+    std::unique_ptr<measure::Measurement> measurement =
+        measure::MeasurementRegistry::instance().create(
+            cfg.measurementClass, cfg.library);
+    measurement->init(cfg.measurementConfig);
+    std::unique_ptr<fitness::Fitness> fit =
+        fitness::FitnessRegistry::instance().create(cfg.fitnessClass);
+    fit->init(cfg.fitnessConfig);
+
+    // The target is either a run directory (probe its all-time
+    // champion) or a saved population file (probe its best, falling
+    // back to the first individual when none carries a fitness).
+    core::Individual ind;
+    int generation = -1;
+    if (dirExists(target)) {
+        ind = output::fittestInRun(cfg.library, target, &generation);
+    } else if (fileExists(target)) {
+        const core::Population pop =
+            core::loadPopulation(cfg.library, target);
+        if (pop.individuals.empty())
+            fatal("population file ", target, " holds no individuals");
+        ind = pop.individuals.front();
+        for (const core::Individual& candidate : pop.individuals) {
+            if (candidate.evaluated &&
+                (!ind.evaluated || candidate.fitness > ind.fitness))
+                ind = candidate;
+        }
+    } else {
+        fatal("probe target ", target,
+              " is neither a run directory nor a population file");
+    }
+
+    inform("probing individual ", ind.id, " (", ind.code.size(),
+           " instructions) with measurement ", cfg.measurementClass);
+
+    signal::SignalProbe probe;
+    ind.measurements =
+        measurement->measureWithProbe(ind.code, &probe).values;
+    ind.evaluated = true;
+    ind.fitness = fit->getFitness(ind, cfg.library);
+
+    const std::string out_dir =
+        out_override ? std::string(out_override) : target + "/probe";
+    const signal::WaveformArtifacts artifacts =
+        signal::writeWaveformArtifacts(
+            out_dir, "individual_" + std::to_string(ind.id), probe);
+
+    std::printf("# id %llu%s, fitness %.6f (%s)\n",
+                static_cast<unsigned long long>(ind.id),
+                generation >= 0
+                    ? (", generation " + std::to_string(generation))
+                          .c_str()
+                    : "",
+                ind.fitness, fit->name().c_str());
+    const std::vector<std::string> names = measurement->valueNames();
+    for (std::size_t i = 0; i < ind.measurements.size(); ++i)
+        std::printf("%-24s %.9g\n",
+                    i < names.size() ? names[i].c_str() : "value",
+                    ind.measurements[i]);
+    std::printf("%s", signal::formatProbeSummary(
+                          signal::summarizeProbe(probe), probe)
+                          .c_str());
+    std::printf("waveforms: %s\n", artifacts.csvPath.c_str());
+    std::printf("           %s\n", artifacts.jsonPath.c_str());
+    if (!artifacts.spectrumPath.empty())
+        std::printf("           %s\n", artifacts.spectrumPath.c_str());
     return 0;
 }
 
@@ -262,6 +355,7 @@ try {
     std::vector<std::string> positional;
     const char* library_override = nullptr;
     const char* threads_override = nullptr;
+    const char* out_override = nullptr;
     const char* trace_file = nullptr;
     bool want_trace = false;
     bool want_json = false;
@@ -279,6 +373,10 @@ try {
             if (i + 1 >= argc)
                 fatal("--threads requires a value");
             threads_override = argv[++i];
+        } else if (std::strcmp(arg, "--out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--out requires a value");
+            out_override = argv[++i];
         } else if (std::strcmp(arg, "--trace") == 0) {
             want_trace = true;
             if (i + 1 < argc && endsWith(argv[i + 1], ".json"))
@@ -295,6 +393,8 @@ try {
     if (command == "run" && positional.size() == 1)
         return cmdRun(positional[0], threads_override, want_trace,
                       trace_file);
+    if (command == "probe" && positional.size() == 2)
+        return cmdProbe(positional[0], positional[1], out_override);
     if (command == "report" && positional.size() == 1)
         return cmdReport(positional[0], want_json);
     if (command == "explain" && positional.size() == 1)

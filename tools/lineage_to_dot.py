@@ -24,10 +24,13 @@ Exit status 0 on success; 1 with a message otherwise.
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
 import time
+
+ARTIFACT_SRC = None  # set by drive(); copied out by fail() on failure
 
 LINEAGE_VERSION_PREFIX = "# gest-lineage v"
 ANALYTICS_VERSION_PREFIX = "# gest-analytics v"
@@ -71,6 +74,13 @@ DRIVE_CONFIG = """<?xml version="1.0"?>
 
 
 def fail(message):
+    if ARTIFACT_SRC is not None:
+        dest = os.environ.get("GEST_CHECK_ARTIFACT_DIR")
+        if dest:
+            target = os.path.join(dest, "check_lineage")
+            shutil.copytree(ARTIFACT_SRC, target, dirs_exist_ok=True)
+            print(f"lineage_to_dot: scratch copied to {target}",
+                  file=sys.stderr)
     print(f"lineage_to_dot: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
 
@@ -286,8 +296,10 @@ def check_status(path, require_completed=False):
 
 
 def drive(gest_binary):
+    global ARTIFACT_SRC
     gest_binary = os.path.abspath(gest_binary)
     with tempfile.TemporaryDirectory(prefix="gest-lineage-") as work:
+        ARTIFACT_SRC = work
         config = os.path.join(work, "config.xml")
         with open(config, "w", encoding="utf-8") as handle:
             handle.write(DRIVE_CONFIG)
@@ -360,6 +372,7 @@ def drive(gest_binary):
                       [e for e in events if e["id"] in ancestry])
         print("lineage_to_dot: OK: dot export is well-formed "
               "(full and --champion-only)")
+        ARTIFACT_SRC = None
 
 
 def main(argv):
