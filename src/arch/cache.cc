@@ -1,5 +1,8 @@
 #include "arch/cache.hh"
 
+#include <algorithm>
+#include <array>
+
 #include "util/logging.hh"
 
 namespace gest {
@@ -25,6 +28,9 @@ Cache::Cache(const CacheConfig& cfg) : _cfg(cfg)
     if ((cfg.lineBytes & (cfg.lineBytes - 1)) != 0)
         fatal("cache line size must be a power of two, got ",
               cfg.lineBytes);
+    if (cfg.ways > 64)
+        fatal("cache associativity above 64 is not supported, got ",
+              cfg.ways);
     _lines.resize(static_cast<std::size_t>(cfg.sets) * cfg.ways);
     _offsetBits = log2i(cfg.lineBytes);
     _indexMask = cfg.sets - 1;
@@ -81,6 +87,41 @@ Cache::flush()
 {
     for (Line& line : _lines)
         line.valid = false;
+}
+
+void
+Cache::reset()
+{
+    for (Line& line : _lines)
+        line = Line{};
+    _accesses = 0;
+    _misses = 0;
+    _useCounter = 0;
+}
+
+void
+Cache::appendCanonicalState(std::vector<std::uint64_t>& out) const
+{
+    // Valid lines always carry distinct lastUse values (every access
+    // stamps exactly one line with a fresh clock tick), so sorting by
+    // lastUse gives a unique recency order per set.
+    std::array<const Line*, 64> order;
+    for (int set = 0; set < _cfg.sets; ++set) {
+        const Line* base =
+            &_lines[static_cast<std::size_t>(set) * _cfg.ways];
+        int valid = 0;
+        for (int way = 0; way < _cfg.ways; ++way) {
+            if (base[way].valid)
+                order[static_cast<std::size_t>(valid++)] = &base[way];
+        }
+        std::sort(order.begin(), order.begin() + valid,
+                  [](const Line* a, const Line* b) {
+                      return a->lastUse < b->lastUse;
+                  });
+        out.push_back(static_cast<std::uint64_t>(_cfg.ways - valid));
+        for (int i = 0; i < valid; ++i)
+            out.push_back(order[static_cast<std::size_t>(i)]->tag);
+    }
 }
 
 double

@@ -41,6 +41,24 @@ class Cache
     /** Reset to the all-invalid state. */
     void flush();
 
+    /**
+     * Return to the exact as-constructed state: all lines invalid,
+     * counters and the internal LRU clock zeroed. Lets a scratch arena
+     * reuse one Cache across evaluations with behavior identical to a
+     * freshly constructed instance.
+     */
+    void reset();
+
+    /**
+     * Append a canonical description of the replacement-relevant state
+     * to @p out: per set, the number of invalid ways followed by the
+     * valid tags in least-recently-used-first order. Two caches with
+     * equal canonical state behave identically on every future access
+     * sequence (which way holds which tag and the absolute LRU clock
+     * values do not matter, only the per-set recency ordering).
+     */
+    void appendCanonicalState(std::vector<std::uint64_t>& out) const;
+
     /** Accesses observed so far. */
     std::uint64_t accesses() const { return _accesses; }
 

@@ -118,10 +118,19 @@ decodeBody(const isa::InstructionLibrary& lib,
            const std::vector<isa::InstructionInstance>& body)
 {
     std::vector<MicroOp> out;
+    decodeBodyInto(lib, body, out);
+    return out;
+}
+
+void
+decodeBodyInto(const isa::InstructionLibrary& lib,
+               const std::vector<isa::InstructionInstance>& body,
+               std::vector<MicroOp>& out)
+{
+    out.clear();
     out.reserve(body.size());
     for (const isa::InstructionInstance& inst : body)
         out.push_back(decode(lib, inst));
-    return out;
 }
 
 } // namespace arch

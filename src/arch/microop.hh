@@ -73,6 +73,11 @@ std::vector<MicroOp> decodeBody(const isa::InstructionLibrary& lib,
                                 const std::vector<isa::InstructionInstance>&
                                     body);
 
+/** decodeBody() into caller-owned storage (cleared, capacity kept). */
+void decodeBodyInto(const isa::InstructionLibrary& lib,
+                    const std::vector<isa::InstructionInstance>& body,
+                    std::vector<MicroOp>& out);
+
 } // namespace arch
 } // namespace gest
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
-#include <optional>
 
 #include "signal/signal_probe.hh"
 #include "util/logging.hh"
@@ -34,23 +33,87 @@ toggles(std::uint64_t before, std::uint64_t after)
     return static_cast<std::uint32_t>(std::popcount(before ^ after));
 }
 
+/** Finalizing 64-bit mixer (splitmix64). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Contribution of one aligned 8-byte memory word to the incremental
+ * memory digest. The digest is the sum of these over all words, so a
+ * store updates it in O(1): add the new word's term, subtract the old
+ * one's. All storeWord offsets are 8-byte aligned (accessBytes is
+ * always 8 or 16), so the windows are disjoint and the sum is a pure
+ * function of the memory contents.
+ */
+inline std::uint64_t
+memCell(std::uint64_t offset, std::uint64_t value, std::uint64_t salt)
+{
+    return mix64(mix64(offset ^ salt) ^ value);
+}
+
+/** Cache geometry equality, for scratch reuse across evaluations. */
+bool
+sameGeometry(const CacheConfig& a, const CacheConfig& b)
+{
+    return a.sets == b.sets && a.ways == b.ways &&
+           a.lineBytes == b.lineBytes && a.hitLatency == b.hitLatency &&
+           a.missLatency == b.missLatency;
+}
+
+/** Exact per-period counter deltas between two matched boundaries. */
+struct PeriodDeltas
+{
+    std::uint64_t issued = 0;
+    std::uint64_t windowOcc = 0;
+    std::uint64_t toggles = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::array<std::uint64_t, isa::numInstrClasses> classCounts{};
+};
+
 } // namespace
 
 /**
- * All mutable execution state for one run. Kept separate from the
- * LoopSimulator so run() is reentrant and const-correct.
+ * All mutable execution state for one run. The heavy storage (memory
+ * image, caches, scheduler window, detector records) lives in the
+ * caller's SimScratch so repeated runs are allocation-free; RunState
+ * itself only holds the register files and bookkeeping.
  */
 class RunState
 {
   public:
-    RunState(const CpuConfig& cfg, const InitState& init)
-        : _cfg(cfg), _init(init), _cache(cfg.l1d),
-          _memory(init.bufferBytes, init.memPattern)
+    RunState(const CpuConfig& cfg, const InitState& init,
+             SimScratch& scratch, bool track_mem_digest)
+        : _cfg(cfg), _init(init), _scratch(scratch),
+          _trackMemDigest(track_mem_digest)
     {
+        scratch.memory.assign(init.bufferBytes, init.memPattern);
+        if (!scratch.l1 || !sameGeometry(scratch.l1->config(), cfg.l1d))
+            scratch.l1.emplace(cfg.l1d);
+        else
+            scratch.l1->reset();
+        _cache = &*scratch.l1;
         if (cfg.hasL2) {
-            _l2.emplace(cfg.l2);
-            _mshrFreeAt.assign(
+            if (!scratch.l2 ||
+                !sameGeometry(scratch.l2->config(), cfg.l2))
+                scratch.l2.emplace(cfg.l2);
+            else
+                scratch.l2->reset();
+            _l2 = &*scratch.l2;
+            scratch.mshrFreeAt.assign(
                 static_cast<std::size_t>(std::max(1, cfg.mshrs)), 0);
+        } else {
+            _l2 = nullptr;
+            scratch.mshrFreeAt.clear();
         }
         for (std::uint64_t& v : _intRegs)
             v = init.intPattern;
@@ -63,13 +126,15 @@ class RunState
         for (std::uint64_t& ready : _regReadyAt)
             ready = 0;
         for (int fu = 0; fu < numFuTypes; ++fu)
-            _fuFreeAt[fu].assign(
-                std::max(0, cfg.fuCount[static_cast<std::size_t>(fu)]), 0);
+            scratch.fuFreeAt[static_cast<std::size_t>(fu)].assign(
+                std::max(0, cfg.fuCount[static_cast<std::size_t>(fu)]),
+                0);
     }
 
-    SimResult
+    void
     run(const std::vector<MicroOp>& body, std::uint64_t iterations,
-        std::uint64_t warmup_iterations)
+        std::uint64_t warmup_iterations, const RunOptions& options,
+        SimResult& result)
     {
         if (body.empty())
             fatal("cannot simulate an empty loop body");
@@ -78,12 +143,23 @@ class RunState
 
         const MicroOp loop_branch = loopBranchOp();
         const std::size_t ops_per_iter = body.size() + 1;
-        const std::uint64_t total_ops = ops_per_iter * iterations;
+        std::uint64_t total_ops = ops_per_iter * iterations;
         const std::uint64_t warmup_ops = ops_per_iter * warmup_iterations;
 
-        SimResult result;
+        // Reset the result but keep the trace's capacity (scratch use).
+        {
+            std::vector<CycleStats> trace = std::move(result.trace);
+            trace.clear();
+            result = SimResult{};
+            result.trace = std::move(trace);
+        }
         result.iterations = iterations;
-        result.trace.reserve(4096);
+        const std::uint64_t reserve_rows =
+            options.traceReserveCycles > 0
+                ? std::min<std::uint64_t>(options.traceReserveCycles,
+                                          maxTraceCycles)
+                : 4096;
+        result.trace.reserve(static_cast<std::size_t>(reserve_rows));
 
         std::uint64_t fetch_seq = 0;
         std::uint64_t issued_total = 0;
@@ -95,8 +171,24 @@ class RunState
         bool measuring = warmup_ops == 0;
         int cond_branch_count = 0;
 
-        std::vector<Slot> window;
+        std::vector<WindowSlot>& window = _scratch.window;
+        window.clear();
         window.reserve(static_cast<std::size_t>(_cfg.windowSize));
+
+        // Steady-state periodicity detection: sample the canonical
+        // architectural state once per loop iteration; a recurrence
+        // means the rest of the run is an exact repetition.
+        bool sampling = options.steadyState &&
+                        iterations > warmup_iterations + 1;
+        std::uint64_t last_sampled_iter = 0;
+        // Samples carry only a 16-byte trigger digest, so the pool
+        // can afford to cover long warm-ups and periods.
+        static constexpr std::size_t maxSamples = 512;
+        _scratch.samples.clear();
+
+        std::uint64_t tile_extra = 0;
+        std::uint64_t tile_dc = 0;
+        PeriodDeltas deltas;
 
         // Forward-progress bound: DRAM-bound loops with a single MSHR
         // can legitimately take ~missLatency cycles per memory op.
@@ -112,6 +204,80 @@ class RunState
             if (!measuring && issued_total >= warmup_ops) {
                 measuring = true;
                 measure_start_cycle = cycle;
+            }
+
+            if (sampling && measuring) {
+                const std::uint64_t iter = fetch_seq / ops_per_iter;
+                if (iter > last_sampled_iter) {
+                    last_sampled_iter = iter;
+                    const SimScratch::Boundary* match = recordBoundary(
+                        body, loop_branch, window, cycle, fetch_seq,
+                        fetch_resume_at, cond_branch_count,
+                        measured_issued, window_occ_sum, result, iter,
+                        maxSamples);
+                    if (match) {
+                        const SimScratch::Boundary& b1 = *match;
+                        const std::uint64_t dc = cycle - b1.cycle;
+                        const std::uint64_t df = fetch_seq - b1.fetchSeq;
+                        const std::uint64_t p2 =
+                            cycle - measure_start_cycle;
+                        const std::uint64_t n_extra =
+                            df > 0 ? (total_ops - fetch_seq) / df : 0;
+                        if (n_extra >= 1 && dc > 0 &&
+                            result.trace.size() == p2) {
+                            tile_extra = n_extra;
+                            tile_dc = dc;
+                            deltas.issued =
+                                measured_issued - b1.measuredIssued;
+                            deltas.windowOcc =
+                                window_occ_sum - b1.windowOccSum;
+                            deltas.toggles =
+                                result.totalToggleBits - b1.toggleBits;
+                            deltas.mispredicts =
+                                result.mispredicts - b1.mispredicts;
+                            deltas.cacheAccesses =
+                                _cache->accesses() - b1.cacheAccesses;
+                            deltas.cacheMisses =
+                                _cache->misses() - b1.cacheMisses;
+                            deltas.l2Accesses =
+                                (_l2 ? _l2->accesses() : 0) -
+                                b1.l2Accesses;
+                            deltas.l2Misses =
+                                (_l2 ? _l2->misses() : 0) - b1.l2Misses;
+                            for (int cls = 0;
+                                 cls < isa::numInstrClasses; ++cls) {
+                                const auto i =
+                                    static_cast<std::size_t>(cls);
+                                deltas.classCounts[i] =
+                                    result.classCounts[i] -
+                                    b1.classCounts[i];
+                            }
+                            result.tiling.prefix =
+                                b1.cycle - measure_start_cycle;
+                            result.tiling.period = dc;
+                            result.tiling.repeats = n_extra + 1;
+                            // Drop the tiled-out iterations; the loop
+                            // continues from the recurring state and
+                            // re-simulates the final partial period
+                            // plus the window drain, which the exact
+                            // recurrence makes identical to the tail
+                            // of the full run.
+                            total_ops -= n_extra * df;
+                            // The horizon can land exactly on this
+                            // boundary with the window already drained;
+                            // the full run's loop exits before stepping
+                            // that cycle, so exit before recording it.
+                            if (issued_total >= total_ops)
+                                break;
+                        }
+                        sampling = false;
+                        _trackMemDigest = false;
+                    }
+                    if (_samplingExhausted) {
+                        sampling = false;
+                        _trackMemDigest = false;
+                    }
+                }
             }
 
             CycleStats stats;
@@ -175,7 +341,7 @@ class RunState
             std::size_t kept = 0;
             bool stop_scan = false;
             for (std::size_t i = 0; i < window.size(); ++i) {
-                const Slot& slot = window[i];
+                const WindowSlot& slot = window[i];
                 bool issued = false;
                 if (!stop_scan &&
                     issued_this_cycle < _cfg.issueWidth) {
@@ -210,9 +376,34 @@ class RunState
             ++cycle;
         }
 
-        const std::uint64_t measured_cycles =
+        const std::uint64_t simulated_cycles =
             cycle - measure_start_cycle;
-        result.cycles = measured_cycles > 0 ? measured_cycles : 1;
+        result.simulatedCycles =
+            simulated_cycles > 0 ? simulated_cycles : 1;
+
+        std::uint64_t virtual_cycles = simulated_cycles;
+        if (tile_extra > 0) {
+            // Tile the counters out to the full horizon — exact
+            // integer extrapolation: every skipped period contributes
+            // precisely the matched boundaries' delta.
+            virtual_cycles += tile_extra * tile_dc;
+            measured_issued += tile_extra * deltas.issued;
+            window_occ_sum += tile_extra * deltas.windowOcc;
+            result.totalToggleBits += tile_extra * deltas.toggles;
+            result.mispredicts += tile_extra * deltas.mispredicts;
+            for (int cls = 0; cls < isa::numInstrClasses; ++cls)
+                result.classCounts[static_cast<std::size_t>(cls)] +=
+                    tile_extra *
+                    deltas.classCounts[static_cast<std::size_t>(cls)];
+            result.tiling.tail =
+                result.trace.size() -
+                (result.tiling.prefix + result.tiling.period);
+        } else {
+            result.tiling = util::TraceTiling::untiled(
+                result.trace.size());
+        }
+
+        result.cycles = virtual_cycles > 0 ? virtual_cycles : 1;
         // Exactly what the measured cycles issued: trace, class counts
         // and instruction count always agree.
         result.instructions = measured_issued;
@@ -220,31 +411,295 @@ class RunState
                      static_cast<double>(result.cycles);
         // Cache counters cover the whole run including warmup, like a
         // real hardware event counter read around the binary execution.
-        result.cacheAccesses = _cache.accesses();
-        result.cacheMisses = _cache.misses();
-        result.l2Accesses = _l2 ? _l2->accesses() : 0;
-        result.l2Misses = _l2 ? _l2->misses() : 0;
+        result.cacheAccesses =
+            _cache->accesses() + tile_extra * deltas.cacheAccesses;
+        result.cacheMisses =
+            _cache->misses() + tile_extra * deltas.cacheMisses;
+        result.l2Accesses = (_l2 ? _l2->accesses() : 0) +
+                            tile_extra * deltas.l2Accesses;
+        result.l2Misses =
+            (_l2 ? _l2->misses() : 0) + tile_extra * deltas.l2Misses;
         result.avgWindowOccupancy =
             static_cast<double>(window_occ_sum) /
             static_cast<double>(result.cycles);
-        return result;
     }
 
   private:
     static constexpr std::uint64_t bufferBase = 0x10000;
-    static constexpr std::size_t maxTraceCycles = 1u << 20;
 
     const CpuConfig& _cfg;
     const InitState& _init;
-    Cache _cache;
-    std::optional<Cache> _l2;
-    std::vector<std::uint64_t> _mshrFreeAt;
-    std::vector<std::uint8_t> _memory;
+    SimScratch& _scratch;
+    Cache* _cache = nullptr;
+    Cache* _l2 = nullptr;
+    bool _trackMemDigest;
+    std::uint64_t _memDigestLo = 0;
+    std::uint64_t _memDigestHi = 0;
+
+    // Armed-anchor state of the steady detector's stage-2 verifier.
+    bool _anchorArmed = false;
+    std::uint64_t _anchorIter = 0;
+    std::uint64_t _anchorDeadlineIter = 0;
+    SimScratch::Boundary _anchor;
+    std::uint32_t _anchorFails = 0;
+    std::uint64_t _anchorSkip = 0;
+    /**
+     * Per-run budget of full cache-state serializations. Capturing
+     * the caches is the expensive part of the detector (every set
+     * reduced to recency order); a clean detection needs exactly two
+     * captures (arm + verify), so a small budget caps the cost on
+     * hostile bodies whose cheap state keeps recurring while their
+     * caches never settle, or whose anchors keep expiring.
+     */
+    std::uint32_t _cacheCaptureBudget = 10;
+    bool _samplingExhausted = false;
 
     std::array<std::uint64_t, 32> _intRegs{};
     std::array<std::array<std::uint64_t, 2>, 32> _vecRegs{};
     std::array<std::uint64_t, numUnifiedRegs> _regReadyAt{};
-    std::array<std::vector<std::uint64_t>, numFuTypes> _fuFreeAt;
+
+    /**
+     * Serialize the complete canonical architectural state: register
+     * files, timestamps relative to the current cycle (only the
+     * differences drive future behavior), the scheduler window with
+     * payloads, the branch phase, the two-lane incremental memory
+     * digest maintained in storeWord(), and the cache state reduced
+     * to per-set recency order. Two boundaries with equal
+     * serializations behave identically forever after.
+     */
+    void
+    appendExactState(const std::vector<MicroOp>& body,
+                     const MicroOp& loop_branch,
+                     const std::vector<WindowSlot>& window,
+                     std::uint64_t cycle, std::uint64_t fetch_seq,
+                     std::uint64_t fetch_resume_at,
+                     int cond_branch_count,
+                     std::vector<std::uint64_t>& out) const
+    {
+        auto rel = [cycle](std::uint64_t at) {
+            return at > cycle ? at - cycle : 0;
+        };
+        out.push_back(fetch_seq % (body.size() + 1));
+        out.push_back(rel(fetch_resume_at));
+        out.push_back(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(cond_branch_count)));
+        for (std::uint64_t v : _intRegs)
+            out.push_back(v);
+        for (const auto& lanes : _vecRegs) {
+            out.push_back(lanes[0]);
+            out.push_back(lanes[1]);
+        }
+        for (std::uint64_t at : _regReadyAt)
+            out.push_back(rel(at));
+        for (const auto& units : _scratch.fuFreeAt)
+            for (std::uint64_t at : units)
+                out.push_back(rel(at));
+        for (std::uint64_t at : _scratch.mshrFreeAt)
+            out.push_back(rel(at));
+        out.push_back(window.size());
+        for (const WindowSlot& slot : window) {
+            out.push_back(slot.mo == &loop_branch
+                              ? body.size()
+                              : static_cast<std::uint64_t>(
+                                    slot.mo - body.data()));
+            out.push_back(slot.address);
+            out.push_back(slot.toggles);
+        }
+        out.push_back(_memDigestLo);
+        out.push_back(_memDigestHi);
+        _cache->appendCanonicalState(out);
+        if (_l2)
+            _l2->appendCanonicalState(out);
+    }
+
+    /**
+     * Sample one loop-iteration boundary for the steady-state
+     * detector.
+     *
+     * Stage 1 folds the cheap state — register files, relative
+     * timestamps, the scheduler window, the branch phase and the
+     * memory digest — into a rolling trigger digest. Nothing is
+     * stored or compared word-for-word per boundary; the digest only
+     * decides when the expensive exact comparison is worth
+     * attempting, so aperiodic bodies (the common case for evolved
+     * individuals) pay a few hundred arithmetic ops per iteration
+     * and nothing else.
+     *
+     * Stage 2 runs only when a digest repeats. The first repetition
+     * arms an anchor: the full exact state (appendExactState,
+     * including the cache canonical state) is captured at that
+     * boundary together with a snapshot of the run counters. When
+     * the same digest comes around again the candidate's exact state
+     * is captured and compared against the anchor's; equality proves
+     * the whole architectural state recurred over [anchor, here],
+     * and the anchor's counter snapshots give the exact per-period
+     * deltas. A failed comparison (digest collision, or caches still
+     * settling under a long-period strided walk) re-arms the anchor
+     * at the candidate with exponential backoff; a per-run capture
+     * budget bounds the total cost, and an anchor that never fires
+     * expires after twice its arming gap so sampling can continue.
+     *
+     * @return the anchored boundary proven architecturally equal to
+     *         the current one, or nullptr.
+     */
+    const SimScratch::Boundary*
+    recordBoundary(const std::vector<MicroOp>& body,
+                   const MicroOp& loop_branch,
+                   const std::vector<WindowSlot>& window,
+                   std::uint64_t cycle, std::uint64_t fetch_seq,
+                   std::uint64_t fetch_resume_at, int cond_branch_count,
+                   std::uint64_t measured_issued,
+                   std::uint64_t window_occ_sum, const SimResult& result,
+                   std::uint64_t iter, std::size_t max_samples)
+    {
+        auto rel = [cycle](std::uint64_t at) {
+            return at > cycle ? at - cycle : 0;
+        };
+        // Four independent fold lanes keep the digest loop
+        // throughput-bound instead of serialized on multiply
+        // latency; the lanes are only combined at the end.
+        std::uint64_t lane0 = 0x6a09e667f3bcc909ULL;
+        std::uint64_t lane1 = 0xbb67ae8584caa73bULL;
+        std::uint64_t lane2 = 0x3c6ef372fe94f82bULL;
+        std::uint64_t lane3 = 0xa54ff53a5f1d36f1ULL;
+        unsigned nfold = 0;
+        auto fold = [&](std::uint64_t w) {
+            switch (nfold++ & 3u) {
+            case 0:
+                lane0 = (lane0 ^ w) * 0x9ddfea08eb382d69ULL;
+                break;
+            case 1:
+                lane1 = (lane1 ^ w) * 0xff51afd7ed558ccdULL;
+                break;
+            case 2:
+                lane2 = (lane2 ^ w) * 0xc4ceb9fe1a85ec53ULL;
+                break;
+            default:
+                lane3 = (lane3 ^ w) * 0x2545f4914f6cdd1dULL;
+                break;
+            }
+        };
+        fold(fetch_seq % (body.size() + 1));
+        fold(rel(fetch_resume_at));
+        fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(cond_branch_count)));
+        for (std::uint64_t v : _intRegs)
+            fold(v);
+        for (const auto& lanes : _vecRegs)
+            fold(lanes[0] + 0x9e3779b97f4a7c15ULL * lanes[1]);
+        for (std::uint64_t at : _regReadyAt)
+            fold(rel(at));
+        for (const auto& units : _scratch.fuFreeAt)
+            for (std::uint64_t at : units)
+                fold(rel(at));
+        for (std::uint64_t at : _scratch.mshrFreeAt)
+            fold(rel(at));
+        fold(window.size());
+        for (const WindowSlot& slot : window)
+            fold((slot.mo == &loop_branch
+                      ? body.size()
+                      : static_cast<std::uint64_t>(slot.mo -
+                                                   body.data())) +
+                 0x9e3779b97f4a7c15ULL * slot.address +
+                 0xc2b2ae3d27d4eb4fULL * slot.toggles);
+        fold(_memDigestLo);
+        fold(_memDigestHi);
+        const std::uint64_t digest =
+            mix64(mix64(lane0 ^ lane1) ^ mix64(lane2 ^ lane3));
+
+        auto snapshot = [&](SimScratch::Boundary& rec) {
+            rec.cycle = cycle;
+            rec.fetchSeq = fetch_seq;
+            rec.digest = digest;
+            rec.measuredIssued = measured_issued;
+            rec.windowOccSum = window_occ_sum;
+            rec.toggleBits = result.totalToggleBits;
+            rec.mispredicts = result.mispredicts;
+            rec.cacheAccesses = _cache->accesses();
+            rec.cacheMisses = _cache->misses();
+            rec.l2Accesses = _l2 ? _l2->accesses() : 0;
+            rec.l2Misses = _l2 ? _l2->misses() : 0;
+            rec.classCounts = result.classCounts;
+        };
+
+        if (_anchorArmed && iter > _anchorDeadlineIter)
+            _anchorArmed = false;
+
+        if (_anchorArmed && digest == _anchor.digest) {
+            if (_anchorSkip > 0) {
+                // Backing off after failed verifications; let this
+                // recurrence pass without serializing anything.
+                --_anchorSkip;
+                return nullptr;
+            }
+            if (_cacheCaptureBudget == 0) {
+                _anchorArmed = false;
+                _samplingExhausted = true;
+                return nullptr;
+            }
+            --_cacheCaptureBudget;
+            // Stage 2: the trigger digest recurred at the anchor's
+            // period; exact-state equality proves an architectural
+            // recurrence over [anchor, here].
+            std::vector<std::uint64_t>& cand = _scratch.stateTmp;
+            cand.clear();
+            appendExactState(body, loop_branch, window, cycle,
+                             fetch_seq, fetch_resume_at,
+                             cond_branch_count, cand);
+            if (cand == _scratch.anchorState)
+                return &_anchor;
+            // Digest collision, or caches still settling under a
+            // walk that can take the whole run to come back around:
+            // re-anchor here and skip a doubling number of
+            // recurrences before verifying again; the capture budget
+            // bounds the total cost.
+            ++_anchorFails;
+            const std::uint64_t gap = iter - _anchorIter;
+            snapshot(_anchor);
+            _anchorIter = iter;
+            _anchorSkip = (std::uint64_t{1} << _anchorFails) - 1;
+            _anchorDeadlineIter =
+                iter + 2 * gap * (_anchorSkip + 1) + 8;
+            _scratch.anchorState.swap(cand);
+            return nullptr;
+        }
+
+        for (const SimScratch::Sample& s : _scratch.samples) {
+            if (s.digest != digest)
+                continue;
+            if (_anchorArmed) // busy verifying another candidate
+                return nullptr;
+            if (_cacheCaptureBudget == 0) {
+                _samplingExhausted = true;
+                return nullptr;
+            }
+            --_cacheCaptureBudget;
+            // First digest repetition: arm the anchor by capturing
+            // the exact state at this boundary.
+            snapshot(_anchor);
+            _anchorIter = iter;
+            _anchorFails = 0;
+            _anchorSkip = 0;
+            _anchorDeadlineIter = iter + 2 * (iter - s.iter) + 8;
+            _anchorArmed = true;
+            _scratch.anchorState.clear();
+            appendExactState(body, loop_branch, window, cycle,
+                             fetch_seq, fetch_resume_at,
+                             cond_branch_count,
+                             _scratch.anchorState);
+            return nullptr;
+        }
+
+        if (_scratch.samples.size() < max_samples) {
+            _scratch.samples.push_back({digest, iter});
+        } else if (!_anchorArmed) {
+            // With the sample pool full and no anchor in flight, a
+            // new period can no longer be discovered.
+            _samplingExhausted = true;
+        }
+        return nullptr;
+    }
+
 
     std::uint64_t
     readLane(int unified, int lane) const
@@ -273,9 +728,11 @@ class RunState
     std::size_t
     bufferOffset(std::uint64_t address, int bytes) const
     {
-        std::uint64_t off = (address - bufferBase) % _memory.size();
+        std::uint64_t off =
+            (address - bufferBase) % _scratch.memory.size();
         off &= ~static_cast<std::uint64_t>(bytes - 1);
-        if (off + static_cast<std::uint64_t>(bytes) > _memory.size())
+        if (off + static_cast<std::uint64_t>(bytes) >
+            _scratch.memory.size())
             off = 0;
         return static_cast<std::size_t>(off);
     }
@@ -284,37 +741,36 @@ class RunState
     loadWord(std::size_t offset) const
     {
         std::uint64_t v;
-        std::memcpy(&v, &_memory[offset], sizeof(v));
+        std::memcpy(&v, &_scratch.memory[offset], sizeof(v));
         return v;
     }
 
     std::uint32_t
     storeWord(std::size_t offset, std::uint64_t value)
     {
-        const std::uint32_t flips = toggles(loadWord(offset), value);
-        std::memcpy(&_memory[offset], &value, sizeof(value));
+        const std::uint64_t before = loadWord(offset);
+        const std::uint32_t flips = toggles(before, value);
+        std::memcpy(&_scratch.memory[offset], &value, sizeof(value));
+        if (_trackMemDigest && before != value) {
+            const std::uint64_t o =
+                static_cast<std::uint64_t>(offset);
+            _memDigestLo += memCell(o, value, 0x243f6a8885a308d3ULL) -
+                            memCell(o, before, 0x243f6a8885a308d3ULL);
+            _memDigestHi += memCell(o, value, 0x13198a2e03707344ULL) -
+                            memCell(o, before, 0x13198a2e03707344ULL);
+        }
         return flips;
     }
-
-    /** One window entry: a fetched micro-op with its architectural
-     *  effects (address, datapath toggles) precomputed in program
-     *  order. */
-    struct Slot
-    {
-        const MicroOp* mo;
-        std::uint64_t address;
-        std::uint32_t toggles;
-    };
 
     /**
      * Execute one micro-op architecturally at fetch time (program
      * order): update registers/memory, compute its access address and
      * datapath toggles. Timing is not affected here.
      */
-    Slot
+    WindowSlot
     executeAtFetch(const MicroOp& mo)
     {
-        Slot slot{&mo, 0, 0};
+        WindowSlot slot{&mo, 0, 0};
         if (mo.isLoad || mo.isStore) {
             const int base = mo.src[mo.numSrc - 1];
             slot.address =
@@ -334,7 +790,7 @@ class RunState
                         slot.toggles +=
                             writeLane(mo.dst[d], 0,
                                       loadWord(word_off %
-                                               _memory.size()));
+                                               _scratch.memory.size()));
                     }
                 }
             } else {
@@ -349,7 +805,7 @@ class RunState
                     } else {
                         const std::size_t word_off =
                             (offset + static_cast<std::size_t>(s) * 8) %
-                            (_memory.size() - 8);
+                            (_scratch.memory.size() - 8);
                         slot.toggles +=
                             storeWord(word_off, readLane(data, 0));
                     }
@@ -366,7 +822,8 @@ class RunState
      * its FU, the cache hierarchy and the register readiness.
      */
     bool
-    tryIssue(const Slot& slot, std::uint64_t cycle, CycleStats& stats)
+    tryIssue(const WindowSlot& slot, std::uint64_t cycle,
+             CycleStats& stats)
     {
         const MicroOp& mo = *slot.mo;
 
@@ -378,7 +835,8 @@ class RunState
 
         // Functional unit availability.
         const OpTiming& timing = _cfg.opTiming(mo.op);
-        auto& units = _fuFreeAt[static_cast<std::size_t>(timing.fu)];
+        auto& units =
+            _scratch.fuFreeAt[static_cast<std::size_t>(timing.fu)];
         std::uint64_t* unit = nullptr;
         for (std::uint64_t& free_at : units) {
             if (free_at <= cycle) {
@@ -400,8 +858,8 @@ class RunState
             // one the op cannot issue this cycle (bounded memory-level
             // parallelism).
             std::uint64_t* mshr = nullptr;
-            if (_l2 && !_cache.probe(address) && !_l2->probe(address)) {
-                for (std::uint64_t& free_at : _mshrFreeAt) {
+            if (_l2 && !_cache->probe(address) && !_l2->probe(address)) {
+                for (std::uint64_t& free_at : _scratch.mshrFreeAt) {
                     if (free_at <= cycle) {
                         mshr = &free_at;
                         break;
@@ -411,7 +869,7 @@ class RunState
                     return false;
             }
 
-            const bool hit = _cache.access(address);
+            const bool hit = _cache->access(address);
             if (!hit) {
                 ++stats.cacheMisses;
                 if (_l2) {
@@ -476,7 +934,8 @@ class RunState
                 // template masks the pointer the same way).
                 value = bufferBase +
                         ((a + b - bufferBase) &
-                         (static_cast<std::uint64_t>(_memory.size()) -
+                         (static_cast<std::uint64_t>(
+                              _scratch.memory.size()) -
                           1));
                 break;
               case Opcode::Sub: value = a - b; break;
@@ -540,8 +999,13 @@ LoopSimulator::run(const std::vector<MicroOp>& body,
                    std::uint64_t iterations,
                    std::uint64_t warmup_iterations)
 {
-    RunState state(_cfg, _init);
-    return state.run(body, iterations, warmup_iterations);
+    SimScratch scratch;
+    SimResult result;
+    RunOptions options;
+    options.steadyState = false;
+    RunState state(_cfg, _init, scratch, false);
+    state.run(body, iterations, warmup_iterations, options, result);
+    return result;
 }
 
 SimResult
@@ -549,15 +1013,36 @@ LoopSimulator::runForCycles(const std::vector<MicroOp>& body,
                             std::uint64_t min_cycles,
                             std::uint64_t max_instructions)
 {
+    SimScratch scratch;
+    SimResult result;
+    RunOptions options;
+    options.steadyState = false;
+    runForCyclesInto(body, min_cycles, max_instructions, options,
+                     scratch, result);
+    return result;
+}
+
+void
+LoopSimulator::runForCyclesInto(const std::vector<MicroOp>& body,
+                                std::uint64_t min_cycles,
+                                std::uint64_t max_instructions,
+                                const RunOptions& options,
+                                SimScratch& scratch, SimResult& out)
+{
     if (body.empty())
         fatal("cannot simulate an empty loop body");
 
     const std::uint64_t warmup = 2;
     const std::uint64_t probe_iters = warmup + 8;
-    const SimResult probe = run(body, probe_iters, warmup);
+    {
+        RunOptions probe_options;
+        probe_options.steadyState = false;
+        RunState state(_cfg, _init, scratch, false);
+        state.run(body, probe_iters, warmup, probe_options, out);
+    }
 
     const double cycles_per_iter =
-        static_cast<double>(probe.cycles) /
+        static_cast<double>(out.cycles) /
         static_cast<double>(probe_iters - warmup);
     std::uint64_t need = warmup + 1 +
         static_cast<std::uint64_t>(
@@ -567,7 +1052,34 @@ LoopSimulator::runForCycles(const std::vector<MicroOp>& body,
         std::max<std::uint64_t>(warmup + 1,
                                 max_instructions / (body.size() + 1));
     need = std::min(need, iter_cap);
-    return run(body, need, warmup);
+
+    RunOptions main_options = options;
+    if (main_options.traceReserveCycles == 0) {
+        // Reserve the actual cycle horizon (plus one iteration of
+        // slack for the measurement-boundary overshoot) so long
+        // fallback runs never reallocate mid-trace.
+        main_options.traceReserveCycles =
+            min_cycles + static_cast<std::uint64_t>(cycles_per_iter) +
+            64;
+    }
+    RunState state(_cfg, _init, scratch, main_options.steadyState);
+    state.run(body, need, warmup, main_options, out);
+}
+
+void
+materializeTrace(SimResult& sim)
+{
+    if (!sim.tiling.tiled())
+        return;
+    const std::uint64_t n =
+        sim.tiling.clippedVirtualCycles(maxTraceCycles);
+    std::vector<CycleStats> full;
+    full.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t v = 0; v < n; ++v)
+        full.push_back(sim.trace[static_cast<std::size_t>(
+            sim.tiling.storedIndex(v))]);
+    sim.trace = std::move(full);
+    sim.tiling = util::TraceTiling::untiled(sim.trace.size());
 }
 
 void

@@ -35,11 +35,14 @@
 #ifndef GEST_ARCH_SIMULATOR_HH
 #define GEST_ARCH_SIMULATOR_HH
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/cache.hh"
 #include "arch/cpu_config.hh"
+#include "arch/fu.hh"
 #include "arch/microop.hh"
 #include "arch/trace.hh"
 
@@ -71,6 +74,98 @@ struct InitState
 };
 
 /**
+ * One scheduler-window entry: a fetched micro-op with its architectural
+ * effects (address, datapath toggles) precomputed in program order.
+ */
+struct WindowSlot
+{
+    const MicroOp* mo;
+    std::uint64_t address;
+    std::uint32_t toggles;
+};
+
+/** Per-run options for the simulator. */
+struct RunOptions
+{
+    /**
+     * Try to detect exact recurrence of the architectural state at
+     * loop-iteration boundaries; on a hit, stop simulating and
+     * extrapolate the remaining cycles by integer tiling. The results
+     * are bit-identical to the full simulation (the extrapolation is
+     * exact, not approximate).
+     */
+    bool steadyState = true;
+
+    /**
+     * Trace rows to reserve up front (0 = a small default). Callers
+     * that know the cycle horizon pass it here to avoid reallocation
+     * churn on long runs.
+     */
+    std::uint64_t traceReserveCycles = 0;
+};
+
+/**
+ * Reusable storage for one simulation worker. Holding one SimScratch
+ * per evaluation thread makes the GA hot loop allocation-free after
+ * warm-up: memory image, cache models, scheduler window and the
+ * steady-state detector's boundary records all keep their capacity
+ * across runs. Contents are unspecified between runs.
+ */
+struct SimScratch
+{
+    std::vector<std::uint8_t> memory;
+    std::optional<Cache> l1;
+    std::optional<Cache> l2;
+    std::vector<std::uint64_t> mshrFreeAt;
+    std::array<std::vector<std::uint64_t>, numFuTypes> fuFreeAt;
+    std::vector<WindowSlot> window;
+
+    /**
+     * One sampled loop-iteration boundary of the steady detector:
+     * just the stage-1 trigger digest and the iteration index.
+     */
+    struct Sample
+    {
+        std::uint64_t digest = 0;
+        std::uint64_t iter = 0;
+    };
+    std::vector<Sample> samples;
+
+    /**
+     * Counter snapshot at the detector's armed anchor boundary, for
+     * exact per-period delta extraction once the recurrence is
+     * verified.
+     */
+    struct Boundary
+    {
+        std::uint64_t cycle = 0;
+        std::uint64_t fetchSeq = 0;
+        std::uint64_t digest = 0;
+        std::uint64_t measuredIssued = 0;
+        std::uint64_t windowOccSum = 0;
+        std::uint64_t toggleBits = 0;
+        std::uint64_t mispredicts = 0;
+        std::uint64_t cacheAccesses = 0;
+        std::uint64_t cacheMisses = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Misses = 0;
+        std::array<std::uint64_t, isa::numInstrClasses> classCounts{};
+    };
+
+    /**
+     * Exact canonical state (registers, relative timestamps,
+     * scheduler window, memory digest, cache recency orders)
+     * captured when the detector arms an anchor, plus the scratch
+     * buffer the candidate's state is serialized into at
+     * verification time. Serializing this is the expensive part of
+     * the detector, so it happens only at those budgeted events,
+     * never per boundary.
+     */
+    std::vector<std::uint64_t> anchorState;
+    std::vector<std::uint64_t> stateTmp;
+};
+
+/**
  * Simulates a loop body on one core configuration.
  */
 class LoopSimulator
@@ -81,7 +176,8 @@ class LoopSimulator
     /**
      * Simulate @p body executed for @p iterations iterations (plus the
      * loop-closing backward branch each iteration, which the template
-     * provides on real hardware).
+     * provides on real hardware). Always a full simulation: the trace
+     * stores every measured cycle.
      *
      * @param body decoded loop body; must not be empty
      * @param iterations loop iterations to run
@@ -93,11 +189,29 @@ class LoopSimulator
 
     /**
      * Simulate enough iterations that the measured region covers at least
-     * @p min_cycles cycles (bounded by @p max_instructions).
+     * @p min_cycles cycles (bounded by @p max_instructions). Always a
+     * full simulation; the steady-state fast path is reached through
+     * runForCyclesInto().
      */
     SimResult runForCycles(const std::vector<MicroOp>& body,
                            std::uint64_t min_cycles,
                            std::uint64_t max_instructions = 2'000'000);
+
+    /**
+     * runForCycles() into caller-owned storage: @p out is reset but
+     * keeps its trace capacity, and all working state lives in
+     * @p scratch, so repeated evaluations allocate nothing after
+     * warm-up. With options.steadyState the periodic-recurrence
+     * detector may cut the run short and tile the counters to the
+     * full horizon; the result is bit-identical to the full run
+     * except that out.trace then stores only the tiled layout
+     * described by out.tiling.
+     */
+    void runForCyclesInto(const std::vector<MicroOp>& body,
+                          std::uint64_t min_cycles,
+                          std::uint64_t max_instructions,
+                          const RunOptions& options, SimScratch& scratch,
+                          SimResult& out);
 
     /** The configuration in use. */
     const CpuConfig& config() const { return _cfg; }
@@ -106,6 +220,14 @@ class LoopSimulator
     CpuConfig _cfg;
     InitState _init;
 };
+
+/**
+ * Expand a tiled trace in place to the full virtual per-cycle trace
+ * (clipped at maxTraceCycles, exactly like a full simulation would
+ * have stored it). No-op on untiled results. Used before attaching a
+ * SignalProbe so capture sees the same rows as a full simulation.
+ */
+void materializeTrace(SimResult& sim);
 
 /**
  * Record the timing-simulator signals of a finished run into @p probe:

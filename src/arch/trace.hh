@@ -16,9 +16,19 @@
 #include <vector>
 
 #include "isa/instr_class.hh"
+#include "util/tiling.hh"
 
 namespace gest {
 namespace arch {
+
+/**
+ * Per-cycle trace rows stored per run are capped at this many cycles;
+ * beyond it the simulator keeps counting into the aggregate counters
+ * but stops recording rows. Tiled-trace consumers clip the virtual
+ * trace to the same bound so the fast path sees exactly what a full
+ * simulation would have stored.
+ */
+constexpr std::size_t maxTraceCycles = 1u << 20;
 
 /** Activity observed in a single cycle. */
 struct CycleStats
@@ -65,8 +75,25 @@ struct SimResult
     /** Committed-instruction IPC over the measured (post-warmup) region. */
     double ipc = 0.0;
 
-    /** Per-cycle activity, warmup excluded. */
+    /**
+     * Per-cycle activity, warmup excluded. When the steady-state fast
+     * path found a period, this stores only the layout described by
+     * `tiling` ([prefix | period | tail]); `cycles` and the aggregate
+     * counters always describe the full virtual run.
+     */
     std::vector<CycleStats> trace;
+
+    /** Mapping from `trace` rows onto the virtual per-cycle trace. */
+    util::TraceTiling tiling;
+
+    /**
+     * Measured cycles actually stepped by the simulator. Equal to
+     * `cycles` when no period was found; much smaller on a steady hit.
+     */
+    std::uint64_t simulatedCycles = 0;
+
+    /** True when the steady-state detector cut the run short. */
+    bool steadyHit() const { return simulatedCycles < cycles; }
 
     /** Issue counts per class over the measured region. */
     std::array<std::uint64_t, isa::numInstrClasses> classCounts{};

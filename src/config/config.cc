@@ -276,6 +276,8 @@ runFromConfig(const RunConfig& cfg)
         measure::MeasurementRegistry::instance().create(
             cfg.measurementClass, cfg.library);
     measurement->init(cfg.measurementConfig);
+    if (cfg.steadyStateOverride)
+        measurement->setSteadyState(*cfg.steadyStateOverride);
 
     std::unique_ptr<fitness::Fitness> fit =
         fitness::FitnessRegistry::instance().create(cfg.fitnessClass);

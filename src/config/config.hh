@@ -103,6 +103,14 @@ struct RunConfig
      */
     int waveformTopK = 0;
 
+    /**
+     * When set, forces the measurement's steady-state fast path on or
+     * off after its own configuration is applied (the CLI's
+     * --steady-state flag). Results are bit-identical either way; the
+     * knob exists for verification and as an escape hatch.
+     */
+    std::optional<bool> steadyStateOverride;
+
     /** Raw main-configuration text (record keeping). */
     std::string rawText;
 

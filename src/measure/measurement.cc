@@ -22,6 +22,12 @@ Measurement::measureWithProbe(
     return measure(code);
 }
 
+void
+Measurement::setSteadyState(bool enabled)
+{
+    (void)enabled;
+}
+
 std::unique_ptr<Measurement>
 Measurement::clone() const
 {

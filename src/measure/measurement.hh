@@ -81,6 +81,15 @@ class Measurement
         const std::vector<isa::InstructionInstance>& code,
         signal::SignalProbe* probe);
 
+    /**
+     * Enable or disable the steady-state evaluation fast path, where
+     * the measurement has one (simulated targets). Results must be
+     * identical either way; the knob exists for verification and as an
+     * escape hatch. The default is a no-op for measurements without a
+     * simulator underneath.
+     */
+    virtual void setSteadyState(bool enabled);
+
     /** Names of the values measure() returns, in order. */
     virtual std::vector<std::string> valueNames() const = 0;
 

@@ -49,6 +49,13 @@ class NoisyMeasurement : public Measurement
 
     std::string name() const override;
 
+    /** Forward the steady-state knob to the wrapped measurement. */
+    void
+    setSteadyState(bool enabled) override
+    {
+        _inner->setSteadyState(enabled);
+    }
+
     /**
      * Clone for a parallel-evaluation worker: same sigma, a clone of
      * the inner measurement, and an independent deterministic noise

@@ -28,6 +28,16 @@ SimMeasurementBase::init(const xml::Element* config)
             fatal("min_cycles must be at least 256, got ", cycles);
         _minCycles = static_cast<std::uint64_t>(cycles);
     }
+    if (config->hasAttr("steady_state")) {
+        const std::string& mode = config->attr("steady_state");
+        if (mode == "on")
+            setSteadyState(true);
+        else if (mode == "off")
+            setSteadyState(false);
+        else
+            fatal("steady_state must be 'on' or 'off', got '", mode,
+                  "'");
+    }
 }
 
 const platform::Platform&
@@ -57,14 +67,14 @@ SimMeasurementBase::measureWithProbe(
     return result;
 }
 
-platform::Evaluation
+const platform::Evaluation&
 SimMeasurementBase::evaluate(
     const std::vector<isa::InstructionInstance>& code,
     bool want_voltage) const
 {
-    platform::Evaluation eval =
-        platform().evaluate(code, _lib, want_voltage, _minCycles,
-                            _probe);
+    platform::Evaluation& eval = _eval;
+    platform().evaluateInto(code, _lib, want_voltage, _minCycles,
+                            _probe, _scratch, eval);
     if (stats::enabled()) {
         // Every Sim* measurement funnels through here, so these cover
         // the whole simulated-target family: how much micro-architec-
@@ -80,9 +90,25 @@ SimMeasurementBase::evaluate(
             stats::StatsRegistry::instance().histogram(
                 "measure.sim.ipc", "IPC of measured individuals", 0.0,
                 8.0, 32);
+        static stats::Counter& steady_hits =
+            stats::StatsRegistry::instance().counter(
+                "eval.steady_hits",
+                "evaluations cut short by the steady-state detector");
+        static stats::Counter& cycles_simulated =
+            stats::StatsRegistry::instance().counter(
+                "eval.cycles_simulated",
+                "measured cycles actually stepped");
+        static stats::Counter& cycles_tiled =
+            stats::StatsRegistry::instance().counter(
+                "eval.cycles_tiled",
+                "measured cycles covered by exact tiling");
         evaluations.inc();
         cycles.inc(eval.sim.cycles);
         ipc.sample(eval.sim.ipc);
+        if (eval.sim.steadyHit())
+            steady_hits.inc();
+        cycles_simulated.inc(eval.sim.simulatedCycles);
+        cycles_tiled.inc(eval.sim.cycles - eval.sim.simulatedCycles);
     }
     return eval;
 }
@@ -91,7 +117,7 @@ MeasurementResult
 SimPowerMeasurement::measure(
     const std::vector<isa::InstructionInstance>& code)
 {
-    const platform::Evaluation eval = evaluate(code, false);
+    const platform::Evaluation& eval = evaluate(code, false);
     return {{eval.chipPowerWatts, eval.corePowerWatts, eval.ipc}};
 }
 
@@ -122,7 +148,7 @@ MeasurementResult
 SimTemperatureMeasurement::measure(
     const std::vector<isa::InstructionInstance>& code)
 {
-    const platform::Evaluation eval = evaluate(code, false);
+    const platform::Evaluation& eval = evaluate(code, false);
     double temp = eval.dieTempC;
     if (_transientSeconds > 0.0) {
         // A short sensor poll: heat the ladder from idle for the
@@ -147,7 +173,7 @@ MeasurementResult
 SimIpcMeasurement::measure(
     const std::vector<isa::InstructionInstance>& code)
 {
-    const platform::Evaluation eval = evaluate(code, false);
+    const platform::Evaluation& eval = evaluate(code, false);
     return {{eval.ipc, eval.chipPowerWatts}};
 }
 
@@ -175,7 +201,7 @@ SimVoltageNoiseMeasurement::measure(
               "model, but '", platform().name(),
               "' has none (use 'athlon-x4', or pick a power/"
               "temperature/IPC measurement for this platform)");
-    const platform::Evaluation eval = evaluate(code, true);
+    const platform::Evaluation& eval = evaluate(code, true);
     return {{eval.peakToPeakV, eval.vMin, eval.chipPowerWatts}};
 }
 
@@ -202,7 +228,7 @@ SimCacheMissMeasurement::measure(
     if (!platform().cpu().hasL2)
         fatal("SimCacheMissMeasurement needs a platform with an L2 "
               "model (use 'xgene2-llc')");
-    const platform::Evaluation eval = evaluate(code, false);
+    const platform::Evaluation& eval = evaluate(code, false);
     return {{eval.sim.dramPerKiloInstr(), 1.0 - eval.sim.l1HitRate(),
              1.0 - eval.sim.l2HitRate(), eval.ipc,
              eval.chipPowerWatts}};

@@ -31,9 +31,21 @@ class SimMeasurementBase : public Measurement
 
     /**
      * XML attributes: `platform` (preset name, required unless the
-     * platform was passed programmatically) and `min_cycles`.
+     * platform was passed programmatically), `min_cycles` and
+     * `steady_state` ("on"/"off", default on: the bit-identical
+     * periodic-trace fast path).
      */
     void init(const xml::Element* config) override;
+
+    /** Toggle the steady-state fast path (results are identical). */
+    void
+    setSteadyState(bool enabled) override
+    {
+        _scratch.steadyState = enabled;
+    }
+
+    /** Whether the steady-state fast path is enabled. */
+    bool steadyState() const { return _scratch.steadyState; }
 
     /** The platform measured against; fatal() if none configured. */
     const platform::Platform& platform() const;
@@ -48,8 +60,14 @@ class SimMeasurementBase : public Measurement
         signal::SignalProbe* probe) override;
 
   protected:
-    /** Run the full platform evaluation for a loop body. */
-    platform::Evaluation evaluate(
+    /**
+     * Run the full platform evaluation for a loop body. The returned
+     * reference points into this measurement's scratch arena and stays
+     * valid until the next evaluate() call — long enough for every
+     * measure() to pull its scalars out. Reusing the arena keeps the
+     * GA hot loop allocation-free after warm-up.
+     */
+    const platform::Evaluation& evaluate(
         const std::vector<isa::InstructionInstance>& code,
         bool want_voltage) const;
 
@@ -60,6 +78,10 @@ class SimMeasurementBase : public Measurement
   private:
     /** Active capture sink during measureWithProbe(); else null. */
     signal::SignalProbe* _probe = nullptr;
+
+    /** Per-instance buffers; clones get their own copies. */
+    mutable platform::EvalScratch _scratch;
+    mutable platform::Evaluation _eval;
 };
 
 /** Average power, the ARM-energy-probe analog (Figures 5 and 6). */

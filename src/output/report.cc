@@ -37,6 +37,36 @@ field(const std::vector<std::string>& fields, int index,
                                       ")"));
 }
 
+/**
+ * Pull one counter value out of a metrics.json dump. The file is our
+ * own StatsRegistry output (`"name": <integer>` pairs), so a targeted
+ * string search is enough — no JSON parser needed or shipped.
+ */
+bool
+tryMetricsCounter(const std::string& metrics, const std::string& name,
+                  std::uint64_t& out)
+{
+    const std::string key = detail::concat("\"", name, "\":");
+    const std::size_t at = metrics.find(key);
+    if (at == std::string::npos)
+        return false;
+    std::size_t i = at + key.size();
+    while (i < metrics.size() && metrics[i] == ' ')
+        ++i;
+    std::uint64_t value = 0;
+    bool any = false;
+    while (i < metrics.size() && metrics[i] >= '0' &&
+           metrics[i] <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(metrics[i] - '0');
+        any = true;
+        ++i;
+    }
+    if (!any)
+        return false;
+    out = value;
+    return true;
+}
+
 } // namespace
 
 double
@@ -54,6 +84,24 @@ RunReport::evaluationsPerSecond() const
     if (!hasTimings || evaluationMs <= 0.0)
         return 0.0;
     return static_cast<double>(totalMeasured) / (evaluationMs / 1000.0);
+}
+
+double
+RunReport::steadyHitRate() const
+{
+    return simEvaluations == 0
+               ? 0.0
+               : static_cast<double>(steadyHits) /
+                     static_cast<double>(simEvaluations);
+}
+
+double
+RunReport::tiledCycleFraction() const
+{
+    const double total =
+        static_cast<double>(cyclesSimulated + cyclesTiled);
+    return total == 0.0 ? 0.0
+                        : static_cast<double>(cyclesTiled) / total;
 }
 
 RunReport
@@ -187,6 +235,24 @@ analyzeRun(const std::string& run_dir)
             report.eliteCopies += row.eliteCopies;
         }
     }
+
+    std::string metrics;
+    if (tryReadFile(run_dir + "/metrics.json", metrics)) {
+        // All three eval.* counters are registered together, so any
+        // one present means the run used a fast-path-aware build.
+        const bool have =
+            tryMetricsCounter(metrics, "eval.steady_hits",
+                              report.steadyHits) &&
+            tryMetricsCounter(metrics, "eval.cycles_simulated",
+                              report.cyclesSimulated) &&
+            tryMetricsCounter(metrics, "eval.cycles_tiled",
+                              report.cyclesTiled);
+        if (have) {
+            report.hasSteadyStats = true;
+            tryMetricsCounter(metrics, "measure.sim.evaluations",
+                              report.simEvaluations);
+        }
+    }
     return report;
 }
 
@@ -224,6 +290,25 @@ formatReport(const RunReport& report)
                   static_cast<unsigned long long>(report.totalCacheHits),
                   100.0 * report.cacheHitRate());
     os << buf;
+
+    if (report.hasSteadyStats) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "steady state: %llu of %llu simulated measurements hit "
+            "(%.1f%%)\n",
+            static_cast<unsigned long long>(report.steadyHits),
+            static_cast<unsigned long long>(report.simEvaluations),
+            100.0 * report.steadyHitRate());
+        os << buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "              %llu cycles stepped, %llu tiled "
+            "(%.1f%% of measured cycles skipped)\n",
+            static_cast<unsigned long long>(report.cyclesSimulated),
+            static_cast<unsigned long long>(report.cyclesTiled),
+            100.0 * report.tiledCycleFraction());
+        os << buf;
+    }
 
     if (report.hasAnalytics) {
         std::snprintf(buf, sizeof(buf),
@@ -347,6 +432,22 @@ formatReportJson(const RunReport& report)
        << "\"mutation\": " << jsonNumber(report.mutationMs) << ", "
        << "\"evaluation\": " << jsonNumber(report.evaluationMs) << ", "
        << "\"io\": " << jsonNumber(report.ioMs) << "},\n";
+    if (report.hasSteadyStats) {
+        os << "  \"steady_state\": {"
+           << "\"hits\": " << jsonNumber(report.steadyHits) << ", "
+           << "\"evaluations\": " << jsonNumber(report.simEvaluations)
+           << ", "
+           << "\"hit_rate\": " << jsonNumber(report.steadyHitRate())
+           << ", "
+           << "\"cycles_simulated\": "
+           << jsonNumber(report.cyclesSimulated) << ", "
+           << "\"cycles_tiled\": " << jsonNumber(report.cyclesTiled)
+           << ", "
+           << "\"tiled_cycle_fraction\": "
+           << jsonNumber(report.tiledCycleFraction()) << "},\n";
+    } else {
+        os << "  \"steady_state\": null,\n";
+    }
     if (report.hasAnalytics) {
         os << "  \"analytics\": {\n"
            << "    \"final_gene_entropy_bits\": "

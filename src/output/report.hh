@@ -95,8 +95,26 @@ struct RunReport
     std::uint64_t mutationImproved = 0;
     std::uint64_t eliteCopies = 0;
 
+    /**
+     * Steady-state fast-path counters, present when the run wrote
+     * metrics.json with the eval.* counters (runs predating the fast
+     * path, or with stats off, summarize without them). Cycle totals
+     * span every simulated-platform measurement of the run.
+     */
+    bool hasSteadyStats = false;
+    std::uint64_t simEvaluations = 0;   ///< measure.sim.evaluations
+    std::uint64_t steadyHits = 0;       ///< eval.steady_hits
+    std::uint64_t cyclesSimulated = 0;  ///< eval.cycles_simulated
+    std::uint64_t cyclesTiled = 0;      ///< eval.cycles_tiled
+
     /** Cache hit rate in [0, 1]. */
     double cacheHitRate() const;
+
+    /** Fraction of measurements cut short by the detector, [0, 1]. */
+    double steadyHitRate() const;
+
+    /** Fraction of measured cycles covered by tiling, [0, 1]. */
+    double tiledCycleFraction() const;
 
     /** Measurements per second of evaluation time; 0 if unknown. */
     double evaluationsPerSecond() const;

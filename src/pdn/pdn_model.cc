@@ -144,6 +144,63 @@ PdnModel::simulateAt(const std::vector<double>& current_amps,
     return out;
 }
 
+VoltageTrace
+PdnModel::simulateTiled(const double* current_amps,
+                        const util::TraceTiling& tiling,
+                        std::size_t virtual_cycles, double freq_ghz,
+                        std::size_t warmup_cycles) const
+{
+    if (freq_ghz <= 0.0)
+        fatal("PDN simulation needs a positive clock frequency");
+
+    const double vs = _cfg.vdd;
+    VoltageTrace out;
+    if (virtual_cycles == 0) {
+        out.vMin = out.vMax = out.vAvg = vs;
+        return out;
+    }
+    if (warmup_cycles >= virtual_cycles)
+        warmup_cycles = virtual_cycles / 2;
+
+    const double dt =
+        1e-9 / freq_ghz / static_cast<double>(_cfg.substepsPerCycle);
+    const double r = _cfg.resistanceOhm;
+    const double l = _cfg.inductanceH;
+    const double c = _cfg.capacitanceF;
+
+    double i_l = current_amps[0];
+    double v_c = vs - r * i_l;
+
+    double v_min = std::numeric_limits<double>::max();
+    double v_max = -std::numeric_limits<double>::max();
+    double v_sum = 0.0;
+    std::size_t measured = 0;
+
+    for (std::size_t cycle = 0; cycle < virtual_cycles; ++cycle) {
+        const double i_load =
+            current_amps[tiling.storedIndex(cycle)];
+        for (int s = 0; s < _cfg.substepsPerCycle; ++s) {
+            i_l += dt * (vs - v_c - r * i_l) / l;
+            v_c += dt * (i_l - i_load) / c;
+        }
+        if (cycle >= warmup_cycles) {
+            v_min = std::min(v_min, v_c);
+            v_max = std::max(v_max, v_c);
+            v_sum += v_c;
+            ++measured;
+        }
+    }
+
+    if (measured == 0) {
+        out.vMin = out.vMax = out.vAvg = v_c;
+    } else {
+        out.vMin = v_min;
+        out.vMax = v_max;
+        out.vAvg = v_sum / static_cast<double>(measured);
+    }
+    return out;
+}
+
 VminModel::VminModel(const PdnModel& pdn, VminConfig cfg)
     : _pdn(pdn), _cfg(cfg)
 {

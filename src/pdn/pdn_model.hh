@@ -22,8 +22,11 @@
 #ifndef GEST_PDN_PDN_MODEL_HH
 #define GEST_PDN_PDN_MODEL_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
+
+#include "util/tiling.hh"
 
 namespace gest {
 
@@ -123,6 +126,25 @@ class PdnModel
                             double freq_ghz, double vs,
                             std::size_t warmup_cycles = 256,
                             signal::SignalProbe* probe = nullptr) const;
+
+    /**
+     * Simulate over a tiled current trace without materializing it.
+     * The integrator still steps every virtual cycle in order — the
+     * PDN is stateful, so there is no shortcut — but reads the load
+     * current through @p tiling from the flat stored array, and only
+     * the scalar summary is produced (VoltageTrace::volts stays
+     * empty). Bit-identical to simulate() over the expanded trace.
+     *
+     * @param current_amps flat array of tiling.storedCycles() samples
+     * @param tiling stored-to-virtual trace mapping
+     * @param virtual_cycles virtual cycles to step (callers clip to
+     *        their trace-capacity bound; <= tiling.virtualCycles())
+     */
+    VoltageTrace simulateTiled(const double* current_amps,
+                               const util::TraceTiling& tiling,
+                               std::size_t virtual_cycles,
+                               double freq_ghz,
+                               std::size_t warmup_cycles = 256) const;
 
     /** The configuration in use. */
     const PdnConfig& config() const { return _cfg; }

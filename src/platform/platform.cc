@@ -61,16 +61,24 @@ Platform::chipTempC(double core_dynamic_watts,
 std::vector<double>
 Platform::chipCurrent(const power::PowerTrace& core_trace) const
 {
+    std::vector<double> amps;
+    chipCurrentInto(core_trace, amps);
+    return amps;
+}
+
+void
+Platform::chipCurrentInto(const power::PowerTrace& core_trace,
+                          std::vector<double>& amps) const
+{
     // All cores run a virus instance each. Instances are assumed phase
     // aligned — the worst case the PDN can see, and what a dI/dt virus
     // achieves in practice by synchronizing through the loop period.
-    std::vector<double> amps;
+    amps.clear();
     amps.reserve(core_trace.watts.size());
     const double uncore_amps =
         _chip.uncoreActiveWatts / core_trace.vdd;
     for (double w : core_trace.watts)
         amps.push_back(w / core_trace.vdd * _chip.numCores + uncore_amps);
-    return amps;
 }
 
 std::vector<double>
@@ -101,6 +109,20 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
                    std::uint64_t min_cycles,
                    signal::SignalProbe* probe) const
 {
+    EvalScratch scratch;
+    Evaluation eval;
+    evaluateInto(code, lib, want_voltage, min_cycles, probe, scratch,
+                 eval);
+    return eval;
+}
+
+void
+Platform::evaluateInto(const std::vector<isa::InstructionInstance>& code,
+                       const isa::InstructionLibrary& lib,
+                       bool want_voltage, std::uint64_t min_cycles,
+                       signal::SignalProbe* probe, EvalScratch& scratch,
+                       Evaluation& out) const
+{
     if (code.empty())
         fatal("cannot evaluate an empty individual on platform '", _name,
               "'");
@@ -108,15 +130,28 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
         fatal("platform '", _name,
               "' has no PDN model; voltage noise cannot be measured");
 
-    Evaluation eval;
+    // Reset the result but keep the trace's capacity (scratch use).
+    {
+        arch::SimResult sim = std::move(out.sim);
+        out = Evaluation{};
+        out.sim = std::move(sim);
+    }
+    Evaluation& eval = out;
 
-    const std::vector<arch::MicroOp> body = arch::decodeBody(lib, code);
+    arch::decodeBodyInto(lib, code, scratch.body);
     arch::LoopSimulator sim(_cpu, _init);
-    eval.sim = sim.runForCycles(body, min_cycles);
+    arch::RunOptions run_options;
+    run_options.steadyState = scratch.steadyState;
+    sim.runForCyclesInto(scratch.body, min_cycles, 2'000'000,
+                         run_options, scratch.sim, eval.sim);
     eval.ipc = eval.sim.ipc;
 
-    if (probe)
+    if (probe) {
+        // Capture must see exactly the rows a full simulation stores;
+        // expand a tiled trace before any probe consumer touches it.
+        arch::materializeTrace(eval.sim);
         arch::captureActivitySignals(eval.sim, _cpu.freqGHz, *probe);
+    }
 
     const power::PowerModel power_model(_energy, _cpu.freqGHz);
 
@@ -142,14 +177,27 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
     // Evaluation fields are filled exactly as without a probe.
     const bool run_pdn = _pdn && (want_voltage || probe != nullptr);
     if (run_pdn) {
-        const power::PowerTrace trace =
-            power_model.trace(eval.sim, _chip.vdd, eval.dieTempC, probe);
-        const std::vector<double> amps = chipCurrent(trace);
+        power_model.traceInto(eval.sim, _chip.vdd, eval.dieTempC, probe,
+                              scratch.power);
+        chipCurrentInto(scratch.power, scratch.amps);
         if (probe)
             probe->recordWaveform("chip_current_a", "A",
-                                  _cpu.freqGHz * 1e9, amps);
+                                  _cpu.freqGHz * 1e9, scratch.amps);
+        // Without a probe the voltage trace itself is discarded, so
+        // the tiled kernel produces just the scalars, reading the
+        // (possibly tiled) current trace through the tiling map. With
+        // a probe the trace was materialized above and the classic
+        // path records the waveform; both step the same virtual cycles
+        // in the same order, so the results are bit-identical.
         const pdn::VoltageTrace volts =
-            _pdn->simulate(amps, _cpu.freqGHz, 256, probe);
+            probe ? _pdn->simulate(scratch.amps, _cpu.freqGHz, 256,
+                                   probe)
+                  : _pdn->simulateTiled(
+                        scratch.amps.data(), eval.sim.tiling,
+                        static_cast<std::size_t>(
+                            eval.sim.tiling.clippedVirtualCycles(
+                                arch::maxTraceCycles)),
+                        _cpu.freqGHz, 256);
         if (want_voltage) {
             eval.vMin = volts.vMin;
             eval.vMax = volts.vMax;
@@ -167,7 +215,8 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
     } else if (probe) {
         // No PDN on this platform: still capture the core power and
         // current waveforms the trace computes.
-        power_model.trace(eval.sim, _chip.vdd, eval.dieTempC, probe);
+        power_model.traceInto(eval.sim, _chip.vdd, eval.dieTempC, probe,
+                              scratch.power);
     }
 
     if (probe) {
@@ -194,7 +243,6 @@ Platform::evaluate(const std::vector<isa::InstructionInstance>& code,
         probe->annotate("instructions",
                         static_cast<double>(eval.sim.instructions));
     }
-    return eval;
 }
 
 std::shared_ptr<const Platform>

@@ -75,6 +75,25 @@ struct Evaluation
 };
 
 /**
+ * Per-worker reusable storage for repeated evaluations. A GA worker
+ * (one Measurement clone) owns one of these; after the first
+ * evaluation the hot loop is allocation-free — decode buffer,
+ * simulator state, power trace and current trace all keep their
+ * capacity across individuals. Copyable so Measurement::clone() keeps
+ * working (a copy starts with the same settings and its own buffers).
+ */
+struct EvalScratch
+{
+    /** Run the steady-state fast path (bit-identical; see DESIGN). */
+    bool steadyState = true;
+
+    arch::SimScratch sim;
+    std::vector<arch::MicroOp> body;
+    power::PowerTrace power;
+    std::vector<double> amps;
+};
+
+/**
  * A simulated target machine.
  */
 class Platform
@@ -140,6 +159,23 @@ class Platform
                         std::uint64_t min_cycles = 4096,
                         signal::SignalProbe* probe = nullptr) const;
 
+    /**
+     * evaluate() into caller-owned storage: all working buffers live
+     * in @p scratch and @p out is reset keeping its trace capacity, so
+     * a worker evaluating many individuals allocates nothing after
+     * warm-up. scratch.steadyState selects the periodic-trace fast
+     * path (default on); either way @p out is bit-identical to
+     * evaluate()'s result, except that out.sim.trace may store the
+     * tiled layout described by out.sim.tiling when no probe is
+     * attached. With a probe the trace is materialized first, so
+     * capture sees exactly the full-simulation rows.
+     */
+    void evaluateInto(const std::vector<isa::InstructionInstance>& code,
+                      const isa::InstructionLibrary& lib,
+                      bool want_voltage, std::uint64_t min_cycles,
+                      signal::SignalProbe* probe, EvalScratch& scratch,
+                      Evaluation& out) const;
+
     /** Evaluate against the platform's own library. */
     Evaluation
     evaluate(const std::vector<isa::InstructionInstance>& code,
@@ -163,6 +199,10 @@ class Platform
     /** Per-core load-current trace scaled to the whole chip (A). */
     std::vector<double>
     chipCurrent(const power::PowerTrace& core_trace) const;
+
+    /** chipCurrent() into caller-owned storage (cleared, capacity kept). */
+    void chipCurrentInto(const power::PowerTrace& core_trace,
+                         std::vector<double>& amps) const;
 
     /**
      * Chip current when each core runs the same periodic trace shifted

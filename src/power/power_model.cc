@@ -47,6 +47,16 @@ PowerModel::trace(const arch::SimResult& sim, double vdd,
                   double temp_c, signal::SignalProbe* probe) const
 {
     PowerTrace out;
+    traceInto(sim, vdd, temp_c, probe, out);
+    return out;
+}
+
+void
+PowerModel::traceInto(const arch::SimResult& sim, double vdd,
+                      double temp_c, signal::SignalProbe* probe,
+                      PowerTrace& out) const
+{
+    out.watts.clear();
     out.freqGHz = _freqGHz;
     out.vdd = vdd;
     out.watts.reserve(sim.trace.size());
@@ -81,7 +91,6 @@ PowerModel::trace(const arch::SimResult& sim, double vdd,
         probe->recordWaveform("core_current_a", "A", rate_hz,
                               out.currentAmps());
     }
-    return out;
 }
 
 double

@@ -61,6 +61,16 @@ class PowerModel
                      double temp_c,
                      signal::SignalProbe* probe = nullptr) const;
 
+    /**
+     * trace() into caller-owned storage: @p out is cleared but keeps
+     * its capacity, so repeated evaluations over same-sized traces
+     * allocate nothing. Produces exactly the rows of sim.trace; on a
+     * tiled result that is the [prefix | period | tail] layout, with
+     * sim.tiling describing how to expand it.
+     */
+    void traceInto(const arch::SimResult& sim, double vdd, double temp_c,
+                   signal::SignalProbe* probe, PowerTrace& out) const;
+
     /** Average power without materializing the trace (fast path). */
     double averageWatts(const arch::SimResult& sim, double vdd,
                         double temp_c) const;

@@ -97,7 +97,8 @@ ThermalModel::step(double watts, double seconds)
     const double dt = seconds / steps;
 
     const std::size_t n = _temps.size();
-    std::vector<double> next(n);
+    _stepScratch.resize(n);
+    std::vector<double>& next = _stepScratch;
     for (int s = 0; s < steps; ++s) {
         for (std::size_t i = 0; i < n; ++i) {
             double flow = i == 0 ? watts : 0.0;
@@ -109,7 +110,7 @@ ThermalModel::step(double watts, double seconds)
             flow -= _cfg.conductance[i] * (_temps[i] - downstream);
             next[i] = _temps[i] + dt * flow / _cfg.capacitance[i];
         }
-        _temps = next;
+        std::swap(_temps, next);
     }
 }
 

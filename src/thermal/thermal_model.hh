@@ -100,6 +100,9 @@ class ThermalModel
   private:
     ThermalConfig _cfg;
     std::vector<double> _temps;
+
+    /** step() ping-pong buffer, kept across calls (zero-alloc path). */
+    std::vector<double> _stepScratch;
 };
 
 /** Thermal ladder for the X-Gene2-like 8-core package. */

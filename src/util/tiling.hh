@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Periodic-trace layout descriptor for the steady-state fast path.
+ *
+ * When the loop simulator detects exact recurrence of its architectural
+ * state, it stops simulating and stores only one occurrence of the
+ * periodic slice. The stored per-cycle trace is then laid out as
+ *
+ *     [ prefix | period | tail ]
+ *
+ * and stands for the virtual trace
+ *
+ *     [ prefix | period x repeats | tail ]
+ *
+ * Downstream kernels (power, PDN, probe materialization) walk the
+ * virtual trace through storedIndex() without ever expanding it.
+ */
+
+#ifndef GEST_UTIL_TILING_HH
+#define GEST_UTIL_TILING_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gest {
+namespace util {
+
+/**
+ * Describes how a stored per-cycle trace maps onto the virtual
+ * (fully expanded) trace. The default state describes an untiled
+ * trace of zero cycles; untiled traces of length n use
+ * {prefix = n, period = 0, repeats = 0, tail = 0}.
+ */
+struct TraceTiling
+{
+    /** Stored cycles before the periodic slice (warm-up). */
+    std::uint64_t prefix = 0;
+
+    /** Length of the periodic slice in cycles (0 = untiled). */
+    std::uint64_t period = 0;
+
+    /**
+     * How many times the period occurs in the virtual trace, the
+     * stored occurrence included. Tiled traces have repeats >= 2.
+     */
+    std::uint64_t repeats = 0;
+
+    /** Stored cycles after the periodic slice (loop drain). */
+    std::uint64_t tail = 0;
+
+    /** True when the trace stands for more cycles than it stores. */
+    bool tiled() const { return period > 0 && repeats > 1; }
+
+    /** Cycles physically stored. */
+    std::uint64_t
+    storedCycles() const
+    {
+        return prefix + period + tail;
+    }
+
+    /** Cycles the stored trace stands for. */
+    std::uint64_t
+    virtualCycles() const
+    {
+        return prefix + period * repeats + tail;
+    }
+
+    /** Virtual cycles beyond the stored ones. */
+    std::uint64_t
+    tiledCycles() const
+    {
+        return virtualCycles() - storedCycles();
+    }
+
+    /** Virtual cycle count a capacity-capped consumer would see. */
+    std::uint64_t
+    clippedVirtualCycles(std::uint64_t cap) const
+    {
+        return std::min(virtualCycles(), cap);
+    }
+
+    /** Map a virtual cycle index onto its stored row. */
+    std::uint64_t
+    storedIndex(std::uint64_t virtual_cycle) const
+    {
+        if (virtual_cycle < prefix || period == 0)
+            return virtual_cycle;
+        const std::uint64_t rel = virtual_cycle - prefix;
+        if (rel < period * repeats)
+            return prefix + rel % period;
+        return prefix + period + (rel - period * repeats);
+    }
+
+    /** Descriptor for an untiled trace of @p cycles stored cycles. */
+    static TraceTiling
+    untiled(std::uint64_t cycles)
+    {
+        TraceTiling t;
+        t.prefix = cycles;
+        return t;
+    }
+};
+
+} // namespace util
+} // namespace gest
+
+#endif // GEST_UTIL_TILING_HH

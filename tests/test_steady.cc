@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Property tests for the steady-state fast path: the periodic-trace
+ * detector plus exact tiling must be *bit-identical* to full
+ * simulation — same Evaluation, same materialized trace, same GA run
+ * artifacts — on every shipped platform, for random and degenerate
+ * bodies, with and without a signal probe attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "config/config.hh"
+#include "platform/platform.hh"
+#include "signal/signal_probe.hh"
+#include "util/fileutil.hh"
+#include "util/random.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace {
+
+std::vector<isa::InstructionInstance>
+randomBody(const isa::InstructionLibrary& lib, int size,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<isa::InstructionInstance> code;
+    for (int i = 0; i < size; ++i)
+        code.push_back(lib.randomInstance(rng));
+    return code;
+}
+
+/** Bitwise double equality (stricter than ==: distinguishes ±0). */
+::testing::AssertionResult
+bitsEqual(const char* a_expr, const char* b_expr, double a, double b)
+{
+    if (std::memcmp(&a, &b, sizeof a) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a_expr << " (" << a << ") and " << b_expr << " (" << b
+           << ") differ bitwise";
+}
+
+#define EXPECT_BITEQ(a, b) EXPECT_PRED_FORMAT2(bitsEqual, a, b)
+
+/** Expand a possibly-tiled trace into full virtual per-cycle rows. */
+std::vector<arch::CycleStats>
+expanded(const arch::SimResult& sim)
+{
+    arch::SimResult copy = sim;
+    arch::materializeTrace(copy);
+    return copy.trace;
+}
+
+/**
+ * The whole contract in one place: every scalar, every counter and
+ * every materialized trace row of @p fast (steady on) must equal
+ * @p full (steady off) exactly.
+ */
+void
+expectBitIdentical(const platform::Evaluation& fast,
+                   const platform::Evaluation& full,
+                   const std::string& what)
+{
+    SCOPED_TRACE(what);
+
+    EXPECT_EQ(fast.sim.cycles, full.sim.cycles);
+    EXPECT_EQ(fast.sim.instructions, full.sim.instructions);
+    EXPECT_EQ(fast.sim.iterations, full.sim.iterations);
+    EXPECT_BITEQ(fast.sim.ipc, full.sim.ipc);
+    EXPECT_EQ(fast.sim.classCounts, full.sim.classCounts);
+    EXPECT_EQ(fast.sim.cacheAccesses, full.sim.cacheAccesses);
+    EXPECT_EQ(fast.sim.cacheMisses, full.sim.cacheMisses);
+    EXPECT_EQ(fast.sim.l2Accesses, full.sim.l2Accesses);
+    EXPECT_EQ(fast.sim.l2Misses, full.sim.l2Misses);
+    EXPECT_EQ(fast.sim.mispredicts, full.sim.mispredicts);
+    EXPECT_EQ(fast.sim.totalToggleBits, full.sim.totalToggleBits);
+    EXPECT_BITEQ(fast.sim.avgWindowOccupancy,
+                 full.sim.avgWindowOccupancy);
+
+    const std::vector<arch::CycleStats> fast_rows = expanded(fast.sim);
+    const std::vector<arch::CycleStats> full_rows = expanded(full.sim);
+    ASSERT_EQ(fast_rows.size(), full_rows.size());
+    for (std::size_t i = 0; i < fast_rows.size(); ++i) {
+        if (std::memcmp(&fast_rows[i], &full_rows[i],
+                        sizeof(arch::CycleStats)) != 0) {
+            ADD_FAILURE() << "trace row " << i << " of "
+                          << fast_rows.size() << " differs (tiling "
+                          << "prefix " << fast.sim.tiling.prefix
+                          << " period " << fast.sim.tiling.period
+                          << " repeats " << fast.sim.tiling.repeats
+                          << " tail " << fast.sim.tiling.tail << ")";
+            return;
+        }
+    }
+
+    EXPECT_BITEQ(fast.ipc, full.ipc);
+    EXPECT_BITEQ(fast.corePowerWatts, full.corePowerWatts);
+    EXPECT_BITEQ(fast.chipPowerWatts, full.chipPowerWatts);
+    EXPECT_BITEQ(fast.dieTempC, full.dieTempC);
+    EXPECT_EQ(fast.hasVoltage, full.hasVoltage);
+    EXPECT_BITEQ(fast.vMin, full.vMin);
+    EXPECT_BITEQ(fast.vMax, full.vMax);
+    EXPECT_BITEQ(fast.peakToPeakV, full.peakToPeakV);
+}
+
+/** Evaluate @p code both ways and assert exact agreement. */
+void
+checkParity(const platform::Platform& plat,
+            const std::vector<isa::InstructionInstance>& code,
+            const std::string& what, std::uint64_t min_cycles = 4096)
+{
+    const bool want_voltage = plat.pdnModel() != nullptr;
+
+    platform::EvalScratch scratch;
+    platform::Evaluation fast, full;
+
+    scratch.steadyState = true;
+    plat.evaluateInto(code, plat.library(), want_voltage, min_cycles,
+                      nullptr, scratch, fast);
+    scratch.steadyState = false;
+    plat.evaluateInto(code, plat.library(), want_voltage, min_cycles,
+                      nullptr, scratch, full);
+
+    EXPECT_EQ(full.sim.simulatedCycles, full.sim.cycles);
+    EXPECT_FALSE(full.sim.steadyHit());
+    expectBitIdentical(fast, full, what);
+}
+
+// ------------------------------------------------ randomized parity
+
+class SteadyParityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{};
+
+TEST_P(SteadyParityTest, RandomBodiesBitIdentical)
+{
+    const auto& [platform_name, seed] = GetParam();
+    const auto plat = platform::Platform::byName(platform_name);
+    // Vary body size with the seed so both short (highly periodic)
+    // and long (window-straddling) loops are covered.
+    const int size = 4 + (seed * 7) % 37;
+    const auto code = randomBody(plat->library(), size,
+                                 static_cast<std::uint64_t>(seed));
+    checkParity(*plat, code,
+                platform_name + " seed " + std::to_string(seed) +
+                    " size " + std::to_string(size));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, SteadyParityTest,
+    ::testing::Combine(::testing::Values("cortex-a15", "cortex-a7",
+                                         "xgene2", "athlon-x4",
+                                         "xgene2-llc"),
+                       ::testing::Range(1, 13)));
+
+// ------------------------------------------------ degenerate bodies
+
+TEST(SteadyDegenerate, SingleInstructionBody)
+{
+    for (const std::string& name : platform::Platform::presetNames()) {
+        const auto plat = platform::Platform::byName(name);
+        const auto code = randomBody(plat->library(), 1, 99);
+        checkParity(*plat, code, name + " single-instruction body");
+    }
+}
+
+TEST(SteadyDegenerate, NonRecurringBodyFallsBack)
+{
+    // x4 += x5 every iteration: the architectural state never recurs
+    // at a loop boundary inside the horizon, so the detector must
+    // sample, give up and leave a full simulation behind.
+    const auto plat = platform::Platform::byName("cortex-a15");
+    const std::vector<isa::InstructionInstance> code = {
+        plat->library().makeInstance("ADD", {"x4", "x4", "x5"}),
+        plat->library().makeInstance("MUL", {"x6", "x4", "x7"}),
+    };
+    platform::EvalScratch scratch;
+    platform::Evaluation fast;
+    plat->evaluateInto(code, plat->library(), false, 4096, nullptr,
+                       scratch, fast);
+    EXPECT_FALSE(fast.sim.steadyHit());
+    EXPECT_EQ(fast.sim.simulatedCycles, fast.sim.cycles);
+    checkParity(*plat, code, "non-recurring body");
+}
+
+TEST(SteadyDegenerate, CacheThrashFallbackStaysExact)
+{
+    // The LLC-stress platform: a body whose pointer register strides
+    // through the 1 MiB buffer keeps mutating cache state, exercising
+    // either a late hit or the clean fallback; exactness must hold
+    // regardless.
+    const auto plat = platform::Platform::byName("xgene2-llc");
+    for (int seed = 1; seed <= 4; ++seed) {
+        const auto code = randomBody(plat->library(), 24,
+                                     static_cast<std::uint64_t>(seed));
+        checkParity(*plat, code,
+                    "llc thrash seed " + std::to_string(seed), 16384);
+    }
+}
+
+// ------------------------------------------------ detector engages
+
+TEST(SteadyDetector, HitsOnSimpleLoop)
+{
+    // A tight ALU loop reaches a steady state within a few iterations;
+    // the detector must engage and skip most of the horizon.
+    const auto plat = platform::Platform::byName("cortex-a15");
+    const std::vector<isa::InstructionInstance> code = {
+        plat->library().makeInstance("ADD", {"x4", "x5", "x6"}),
+        plat->library().makeInstance("MUL", {"x7", "x8", "x9"}),
+        plat->library().makeInstance("EOR", {"x6", "x5", "x8"}),
+    };
+    platform::EvalScratch scratch;
+    platform::Evaluation eval;
+    plat->evaluateInto(code, plat->library(), false, 4096, nullptr,
+                       scratch, eval);
+    EXPECT_TRUE(eval.sim.steadyHit());
+    EXPECT_LT(eval.sim.simulatedCycles, eval.sim.cycles / 2);
+    EXPECT_TRUE(eval.sim.tiling.tiled());
+}
+
+// ------------------------------------------------ probe transparency
+
+TEST(SteadyProbe, ProbeOnOffBitIdentical)
+{
+    for (const char* name : {"cortex-a15", "athlon-x4"}) {
+        const auto plat = platform::Platform::byName(name);
+        const auto code = randomBody(plat->library(), 12, 7);
+        const bool want_voltage = plat->pdnModel() != nullptr;
+
+        platform::EvalScratch scratch;  // steady on
+        platform::Evaluation probed, unprobed;
+        signal::SignalProbe probe;
+        plat->evaluateInto(code, plat->library(), want_voltage, 4096,
+                           &probe, scratch, probed);
+        plat->evaluateInto(code, plat->library(), want_voltage, 4096,
+                           nullptr, scratch, unprobed);
+
+        // With a probe the trace is materialized up front; without it
+        // the tiled layout is kept. Both must expand to the same rows
+        // and carry the same scalars.
+        EXPECT_FALSE(probed.sim.tiling.tiled());
+        expectBitIdentical(unprobed, probed,
+                           std::string(name) + " probe parity");
+    }
+}
+
+// ------------------------------------------------ whole-run parity
+
+TEST(SteadyRun, RunArtifactsIdenticalEitherWay)
+{
+    const std::string dir_on = "steady_run_on";
+    const std::string dir_off = "steady_run_off";
+    auto config_text = [](const std::string& out_dir) {
+        return std::string(
+                   "<gest_configuration>\n"
+                   "  <ga population_size=\"6\" individual_size=\"10\" "
+                   "mutation_rate=\"0.05\" "
+                   "crossover_operator=\"one_point\" "
+                   "parent_selection_method=\"tournament\" "
+                   "tournament_size=\"3\" elitism=\"true\" "
+                   "generations=\"3\" seed=\"11\"/>\n"
+                   "  <library name=\"arm\"/>\n"
+                   "  <measurement class=\"SimPowerMeasurement\">\n"
+                   "    <config platform=\"cortex-a15\"/>\n"
+                   "  </measurement>\n"
+                   "  <fitness class=\"DefaultFitness\"/>\n"
+                   "  <output directory=\"") +
+               out_dir + "\"/>\n</gest_configuration>\n";
+    };
+
+    config::RunConfig on = config::parseConfig(config_text(dir_on));
+    on.steadyStateOverride = true;
+    config::RunConfig off = config::parseConfig(config_text(dir_off));
+    off.steadyStateOverride = false;
+
+    const config::RunResult r_on = config::runFromConfig(on);
+    const config::RunResult r_off = config::runFromConfig(off);
+
+    EXPECT_EQ(r_on.best.fitness, r_off.best.fitness);
+    EXPECT_EQ(r_on.best.id, r_off.best.id);
+    ASSERT_EQ(r_on.history.size(), r_off.history.size());
+    for (std::size_t i = 0; i < r_on.history.size(); ++i) {
+        EXPECT_BITEQ(r_on.history[i].bestFitness,
+                     r_off.history[i].bestFitness);
+        EXPECT_BITEQ(r_on.history[i].averageFitness,
+                     r_off.history[i].averageFitness);
+    }
+
+    // lineage.csv is wall-clock free and must match byte for byte.
+    // history.csv carries timing columns; its deterministic prefix
+    // (generation..cache_misses) must match row by row.
+    std::string lineage_on, lineage_off;
+    ASSERT_TRUE(tryReadFile(dir_on + "/lineage.csv", lineage_on));
+    ASSERT_TRUE(tryReadFile(dir_off + "/lineage.csv", lineage_off));
+    EXPECT_EQ(lineage_on, lineage_off);
+
+    std::string hist_on, hist_off;
+    ASSERT_TRUE(tryReadFile(dir_on + "/history.csv", hist_on));
+    ASSERT_TRUE(tryReadFile(dir_off + "/history.csv", hist_off));
+    const std::vector<std::string> rows_on = split(hist_on, '\n');
+    const std::vector<std::string> rows_off = split(hist_off, '\n');
+    ASSERT_EQ(rows_on.size(), rows_off.size());
+    for (std::size_t i = 0; i < rows_on.size(); ++i) {
+        const auto f_on = split(rows_on[i], ',');
+        const auto f_off = split(rows_off[i], ',');
+        const std::size_t deterministic =
+            std::min<std::size_t>(8, std::min(f_on.size(),
+                                              f_off.size()));
+        for (std::size_t c = 0; c < deterministic; ++c)
+            EXPECT_EQ(f_on[c], f_off[c])
+                << "history.csv row " << i << " column " << c;
+    }
+}
+
+} // namespace
+} // namespace gest

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_engine.json perf-smoke report.
+
+The report is written by `bench_micro_engine --smoke_json=<path>` and
+records, per shipped platform, evals/sec with the steady-state fast
+path on and off over a random body set and a steady (tiling) body set.
+
+Gating checks (schema and correctness — these must always hold):
+
+  * valid JSON with version 1 and benchmark "engine_steady_smoke";
+  * one record per platform with all required fields and sane types;
+  * fitness_identical is true everywhere: the fast path must produce
+    bit-identical evaluations to full simulation;
+  * rates are positive and speedups consistent with the rates.
+
+Absolute throughput and speedup values are reported but never gated —
+CI machines are too noisy for that.
+
+Usage:
+  check_bench.py <BENCH_engine.json>      validate an existing report
+  check_bench.py --drive <bench-binary>   run the smoke in a temp dir,
+                                          then validate its report
+
+Exit status 0 when the report is valid; 1 with a message otherwise.
+"""
+
+import json
+import math
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ARTIFACT_SRC = None  # set by drive(); copied out by fail() on failure
+
+REQUIRED_FIELDS = {
+    "platform": str,
+    "min_cycles": int,
+    "bodies": int,
+    "steady_hits": int,
+    "fitness_identical": bool,
+    "evals_per_sec_fast": (int, float),
+    "evals_per_sec_full": (int, float),
+    "speedup": (int, float),
+    "steady_bodies": int,
+    "evals_per_sec_fast_steady": (int, float),
+    "evals_per_sec_full_steady": (int, float),
+    "speedup_steady": (int, float),
+}
+
+
+def fail(message):
+    if ARTIFACT_SRC is not None:
+        dest = os.environ.get("GEST_CHECK_ARTIFACT_DIR")
+        if dest:
+            target = os.path.join(dest, "check_bench")
+            shutil.copytree(ARTIFACT_SRC, target, dirs_exist_ok=True)
+            print(f"check_bench: scratch copied to {target}",
+                  file=sys.stderr)
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_speedup(record, fast_key, full_key, speedup_key):
+    fast = record[fast_key]
+    full = record[full_key]
+    speedup = record[speedup_key]
+    name = record["platform"]
+    if full <= 0.0:
+        # No bodies in this set; the speedup must be the 0 sentinel.
+        if speedup != 0.0:
+            fail(f"{name}: {speedup_key} is {speedup} but {full_key} "
+                 "is 0")
+        return
+    if fast <= 0.0:
+        fail(f"{name}: {fast_key} must be positive, got {fast}")
+    if not math.isclose(speedup, fast / full, rel_tol=0.02):
+        fail(f"{name}: {speedup_key} {speedup} inconsistent with "
+             f"{fast_key}/{full_key} = {fast / full:.3f}")
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{path} is not valid JSON: {err}")
+
+    if not isinstance(doc, dict):
+        fail(f"{path} is not a JSON object")
+    if doc.get("version") != 1:
+        fail(f"unexpected version {doc.get('version')!r}")
+    if doc.get("benchmark") != "engine_steady_smoke":
+        fail(f"unexpected benchmark {doc.get('benchmark')!r}")
+    platforms = doc.get("platforms")
+    if not isinstance(platforms, list) or not platforms:
+        fail("platforms is missing, not a list, or empty")
+
+    seen = set()
+    for index, record in enumerate(platforms):
+        if not isinstance(record, dict):
+            fail(f"platform record {index} is not an object")
+        for field, types in REQUIRED_FIELDS.items():
+            if field not in record:
+                fail(f"platform record {index} lacks '{field}'")
+            value = record[field]
+            if not isinstance(value, types) or isinstance(value, bool) \
+                    and types is not bool:
+                fail(f"platform record {index} field '{field}' has "
+                     f"unexpected type: {value!r}")
+        name = record["platform"]
+        if name in seen:
+            fail(f"duplicate platform record '{name}'")
+        seen.add(name)
+        if record["min_cycles"] < 256:
+            fail(f"{name}: min_cycles {record['min_cycles']} < 256")
+        if record["bodies"] <= 0:
+            fail(f"{name}: bodies must be positive")
+        if not 0 <= record["steady_hits"] <= record["bodies"]:
+            fail(f"{name}: steady_hits {record['steady_hits']} out of "
+                 f"range for {record['bodies']} bodies")
+        # The gating bit: the fast path must be bit-identical to full
+        # simulation on every platform.
+        if record["fitness_identical"] is not True:
+            fail(f"{name}: fitness_identical is false — the steady "
+                 "fast path diverged from full simulation")
+        check_speedup(record, "evals_per_sec_fast",
+                      "evals_per_sec_full", "speedup")
+        check_speedup(record, "evals_per_sec_fast_steady",
+                      "evals_per_sec_full_steady", "speedup_steady")
+
+    summary = ", ".join(
+        f"{r['platform']} {r['speedup']:.2f}x/"
+        f"{r['speedup_steady']:.2f}x" for r in platforms)
+    print(f"check_bench: OK: {path}: {len(platforms)} platforms "
+          f"(random/steady speedups: {summary})")
+
+
+def drive(bench_binary):
+    global ARTIFACT_SRC
+    with tempfile.TemporaryDirectory(prefix="gest-bench-") as work:
+        ARTIFACT_SRC = work
+        report = os.path.join(work, "BENCH_engine.json")
+        result = subprocess.run(
+            [bench_binary, f"--smoke_json={report}"],
+            cwd=work, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail(f"bench smoke failed ({result.returncode}):\n"
+                 f"{result.stdout}{result.stderr}")
+        validate(report)
+        ARTIFACT_SRC = None
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--drive":
+        drive(argv[2])
+        return 0
+    if len(argv) == 2 and not argv[1].startswith("-"):
+        validate(argv[1])
+        return 0
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -73,6 +73,8 @@ usage()
         "options for run: --threads N (override evaluation workers)\n"
         "                 --trace [file.json] (write a Chrome trace; "
         "default <output dir>/trace.json)\n"
+        "                 --steady-state on|off (periodic-trace fast "
+        "path; default on, bit-identical)\n"
         "options for report: --json (machine-readable output)\n"
         "options for probe: --out <dir> (artifact directory; default "
         "<target>/probe)\n"
@@ -114,13 +116,24 @@ libraryForRun(const std::string& run_dir, const char* override_name)
 
 int
 cmdRun(const std::string& path, const char* threads_override,
-       bool want_trace, const char* trace_file)
+       bool want_trace, const char* trace_file,
+       const char* steady_override)
 {
     config::RunConfig cfg = config::loadConfig(path);
     if (threads_override) {
         cfg.ga.threads = static_cast<int>(
             parseInt(threads_override, "--threads"));
         cfg.ga.validate();
+    }
+    if (steady_override) {
+        const std::string mode = steady_override;
+        if (mode == "on")
+            cfg.steadyStateOverride = true;
+        else if (mode == "off")
+            cfg.steadyStateOverride = false;
+        else
+            fatal("--steady-state must be 'on' or 'off', got '", mode,
+                  "'");
     }
     if (trace_file) {
         cfg.traceFile = trace_file;
@@ -357,6 +370,7 @@ try {
     const char* threads_override = nullptr;
     const char* out_override = nullptr;
     const char* trace_file = nullptr;
+    const char* steady_override = nullptr;
     bool want_trace = false;
     bool want_json = false;
     for (int i = 2; i < argc; ++i) {
@@ -381,6 +395,10 @@ try {
             want_trace = true;
             if (i + 1 < argc && endsWith(argv[i + 1], ".json"))
                 trace_file = argv[++i];
+        } else if (std::strcmp(arg, "--steady-state") == 0) {
+            if (i + 1 >= argc)
+                fatal("--steady-state requires 'on' or 'off'");
+            steady_override = argv[++i];
         } else if (std::strcmp(arg, "--json") == 0) {
             want_json = true;
         } else if (startsWith(arg, "--")) {
@@ -392,7 +410,7 @@ try {
 
     if (command == "run" && positional.size() == 1)
         return cmdRun(positional[0], threads_override, want_trace,
-                      trace_file);
+                      trace_file, steady_override);
     if (command == "probe" && positional.size() == 2)
         return cmdProbe(positional[0], positional[1], out_override);
     if (command == "report" && positional.size() == 1)
