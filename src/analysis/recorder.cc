@@ -6,6 +6,7 @@
 #include "stats/stats.hh"
 #include "util/fileutil.hh"
 #include "util/logging.hh"
+#include "util/strutil.hh"
 
 namespace gest {
 namespace analysis {
@@ -65,6 +66,62 @@ analysisStats()
 }
 
 } // namespace
+
+std::string
+formatStatusJson(const StatusSnapshot& snapshot)
+{
+    char buf[1536];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"state\": \"%s\",\n"
+        "  \"generation\": %d,\n"
+        "  \"total_generations\": %d,\n"
+        "  \"best_fitness\": %.17g,\n"
+        "  \"average_fitness\": %.17g,\n"
+        "  \"diversity\": %.6f,\n"
+        "  \"gene_entropy_bits\": %.6f,\n"
+        "  \"pairwise_diversity\": %.6f,\n"
+        "  \"evaluations\": %llu,\n"
+        "  \"cache_hit_rate\": %.6f,\n"
+        "  \"evals_per_sec\": %.3f,\n"
+        "  \"elapsed_seconds\": %.3f,\n"
+        "  \"eta_seconds\": %.3f,\n"
+        "  \"steady_hits\": %llu,\n"
+        "  \"cycles_simulated\": %llu,\n"
+        "  \"cycles_tiled\": %llu,\n"
+        "  \"listen\": \"%s\"\n"
+        "}\n",
+        snapshot.running ? "running" : "completed", snapshot.generation,
+        snapshot.totalGenerations, snapshot.bestFitness,
+        snapshot.averageFitness, snapshot.diversity,
+        snapshot.geneEntropyBits, snapshot.pairwiseDiversity,
+        static_cast<unsigned long long>(snapshot.evaluations),
+        snapshot.cacheHitRate, snapshot.evalsPerSec,
+        snapshot.elapsedSeconds, snapshot.etaSeconds,
+        static_cast<unsigned long long>(snapshot.steadyHits),
+        static_cast<unsigned long long>(snapshot.cyclesSimulated),
+        static_cast<unsigned long long>(snapshot.cyclesTiled),
+        jsonEscape(snapshot.listen).c_str());
+    return buf;
+}
+
+void
+fillSteadyCounters(StatusSnapshot& snapshot)
+{
+    // Look up without find-or-create: a run that never touches the
+    // simulated fast path (native measurements, stats off) must not
+    // grow eval.* entries in its stats.txt just by heartbeating.
+    for (const stats::Counter* counter :
+         stats::StatsRegistry::instance().counterList()) {
+        if (counter->name() == "eval.steady_hits")
+            snapshot.steadyHits = counter->value();
+        else if (counter->name() == "eval.cycles_simulated")
+            snapshot.cyclesSimulated = counter->value();
+        else if (counter->name() == "eval.cycles_tiled")
+            snapshot.cyclesTiled = counter->value();
+    }
+}
 
 Recorder::Recorder(std::string run_dir,
                    const isa::InstructionLibrary& lib,
@@ -188,50 +245,42 @@ Recorder::writeStatus(const core::Population& pop,
     const int done = record.generation + 1;
     const double per_generation_s =
         done > 0 ? elapsed_s / static_cast<double>(done) : 0.0;
-    const double eta_s =
+    const std::uint64_t resolved = _totalMeasured + _totalCacheHits;
+
+    StatusSnapshot snapshot;
+    snapshot.running = running;
+    snapshot.generation = record.generation;
+    snapshot.totalGenerations = _totalGenerations;
+    snapshot.bestFitness = record.bestFitness;
+    snapshot.averageFitness = record.averageFitness;
+    snapshot.diversity = record.diversity;
+    snapshot.geneEntropyBits =
+        _rows.empty() ? 0.0 : _rows.back().geneEntropyBits;
+    snapshot.pairwiseDiversity =
+        _rows.empty() ? 0.0 : _rows.back().pairwiseDiversity;
+    snapshot.evaluations = _totalMeasured;
+    snapshot.cacheHitRate =
+        resolved > 0 ? static_cast<double>(_totalCacheHits) /
+                           static_cast<double>(resolved)
+                     : 0.0;
+    snapshot.evalsPerSec =
+        elapsed_s > 0.0 ? static_cast<double>(_totalMeasured) / elapsed_s
+                        : 0.0;
+    snapshot.elapsedSeconds = elapsed_s;
+    snapshot.etaSeconds =
         running && _totalGenerations > done
             ? per_generation_s *
                   static_cast<double>(_totalGenerations - done)
             : 0.0;
-    const double evals_per_sec =
-        elapsed_s > 0.0
-            ? static_cast<double>(_totalMeasured) / elapsed_s
-            : 0.0;
-    const std::uint64_t resolved = _totalMeasured + _totalCacheHits;
-    const double hit_rate =
-        resolved > 0
-            ? static_cast<double>(_totalCacheHits) /
-                  static_cast<double>(resolved)
-            : 0.0;
+    fillSteadyCounters(snapshot);
+    snapshot.listen = _listenAddress;
 
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\n"
-        "  \"state\": \"%s\",\n"
-        "  \"generation\": %d,\n"
-        "  \"total_generations\": %d,\n"
-        "  \"best_fitness\": %.17g,\n"
-        "  \"average_fitness\": %.17g,\n"
-        "  \"diversity\": %.6f,\n"
-        "  \"gene_entropy_bits\": %.6f,\n"
-        "  \"pairwise_diversity\": %.6f,\n"
-        "  \"evaluations\": %llu,\n"
-        "  \"cache_hit_rate\": %.6f,\n"
-        "  \"evals_per_sec\": %.3f,\n"
-        "  \"elapsed_seconds\": %.3f,\n"
-        "  \"eta_seconds\": %.3f\n"
-        "}\n",
-        running ? "running" : "completed", record.generation,
-        _totalGenerations, record.bestFitness, record.averageFitness,
-        record.diversity,
-        _rows.empty() ? 0.0 : _rows.back().geneEntropyBits,
-        _rows.empty() ? 0.0 : _rows.back().pairwiseDiversity,
-        static_cast<unsigned long long>(_totalMeasured), hit_rate,
-        evals_per_sec, elapsed_s, eta_s);
+    const std::string payload = formatStatusJson(snapshot);
     // Atomic replace: a poller either sees the previous heartbeat or
     // this one, never a torn file.
-    writeFileAtomic(statusPath(), buf);
+    writeFileAtomic(statusPath(), payload);
+    if (_statusListener)
+        _statusListener(payload);
 }
 
 void

@@ -22,6 +22,7 @@
 #define GEST_ANALYSIS_RECORDER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,49 @@
 
 namespace gest {
 namespace analysis {
+
+/**
+ * Everything one status.json heartbeat says, in composable form. The
+ * Recorder fills one per sealed generation; the telemetry service
+ * builds its own when a run listens without analytics. Keeping the
+ * fields and the renderer (formatStatusJson) in one place guarantees
+ * the /status endpoint and the status.json file speak one schema.
+ */
+struct StatusSnapshot
+{
+    bool running = true;
+    int generation = 0;
+    int totalGenerations = 0;
+    double bestFitness = 0.0;
+    double averageFitness = 0.0;
+    double diversity = 0.0;
+    double geneEntropyBits = 0.0;
+    double pairwiseDiversity = 0.0;
+    std::uint64_t evaluations = 0;
+    double cacheHitRate = 0.0;
+    double evalsPerSec = 0.0;
+    double elapsedSeconds = 0.0;
+    double etaSeconds = 0.0;
+
+    /** Steady-state fast-path counters (eval.*; 0 with stats off). */
+    std::uint64_t steadyHits = 0;
+    std::uint64_t cyclesSimulated = 0;
+    std::uint64_t cyclesTiled = 0;
+
+    /** host:port of the live telemetry server; empty when serverless. */
+    std::string listen;
+};
+
+/** Render a snapshot as the status.json / GET /status payload. */
+std::string formatStatusJson(const StatusSnapshot& snapshot);
+
+/**
+ * Copy the PR 5 steady-state fast-path counters (eval.steady_hits,
+ * eval.cycles_simulated, eval.cycles_tiled) out of the stats registry
+ * into @p snapshot, so external monitors see fast-path behavior from
+ * the heartbeat alone. Zeros when stats recording is off.
+ */
+void fillSteadyCounters(StatusSnapshot& snapshot);
 
 class Recorder
 {
@@ -76,6 +120,26 @@ class Recorder
     const std::string& runDir() const { return _runDir; }
     std::string statusPath() const { return _runDir + "/status.json"; }
 
+    /**
+     * Record the live telemetry server's bound address; subsequent
+     * heartbeats carry it as "listen" so monitors (and the check_*
+     * validators) can discover the scrape endpoint from the file.
+     */
+    void setListenAddress(std::string address)
+    {
+        _listenAddress = std::move(address);
+    }
+
+    /**
+     * Observe every status.json payload as it is written (the
+     * telemetry service mirrors it as GET /status without touching
+     * disk). Called on the engine's coordinator thread.
+     */
+    void setStatusListener(std::function<void(const std::string&)> fn)
+    {
+        _statusListener = std::move(fn);
+    }
+
     /** Analytics rows sealed so far (tests). */
     const std::vector<AnalyticsRow>& rows() const { return _rows; }
 
@@ -94,6 +158,8 @@ class Recorder
     double _startUs;
     std::uint64_t _totalMeasured = 0;
     std::uint64_t _totalCacheHits = 0;
+    std::string _listenAddress;
+    std::function<void(const std::string&)> _statusListener;
 
     // Last-generation summary repeated in the final status.json.
     bool _sawGeneration = false;

@@ -4,6 +4,7 @@
 #include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
 #include "measure/sim_measurements.hh"
+#include "net/telemetry.hh"
 #include "output/flight_recorder.hh"
 #include "output/run_writer.hh"
 #include "output/trace_writer.hh"
@@ -224,6 +225,8 @@ parseConfig(const std::string& text, const std::string& base_dir,
         if (out->hasAttr("analytics"))
             cfg.recordAnalytics =
                 parseBool(out->attr("analytics"), "output analytics");
+        if (out->hasAttr("listen"))
+            cfg.listenAddress = out->attr("listen");
         if (out->hasAttr("waveforms")) {
             const std::int64_t top_k =
                 parseInt(out->attr("waveforms"), "output waveforms");
@@ -336,16 +339,33 @@ runFromConfig(const RunConfig& cfg)
             cfg.rawText,
             cfg.asmTemplate ? cfg.asmTemplate->text() : "");
         writer->setTraceWriter(trace.get());
-        if (flight) {
-            engine.setGenerationCallback(
-                [cb = writer->callback(), fr = flight.get()](
-                    const core::Population& pop,
-                    const core::GenerationRecord& record) {
-                    cb(pop, record);
-                    fr->onGenerationEvaluated(pop, record);
+        engine.setGenerationCallback(writer->callback());
+    }
+    if (flight) {
+        engine.addGenerationObserver(
+            [fr = flight.get()](const core::Population& pop,
+                                const core::GenerationRecord& record) {
+                fr->onGenerationEvaluated(pop, record);
+            });
+    }
+
+    // Live telemetry: bind before the run so the first generation is
+    // already scrapable; the service only observes (const views, no
+    // RNG), keeping artifacts bit-identical with the server on or off.
+    std::unique_ptr<net::TelemetryServer> telemetry;
+    if (!cfg.listenAddress.empty()) {
+        telemetry = std::make_unique<net::TelemetryServer>(
+            cfg.listenAddress, cfg.library, cfg.ga.generations);
+        telemetry->start();
+        inform("telemetry listening on http://", telemetry->address());
+        engine.addGenerationObserver(telemetry->observer());
+        if (recorder) {
+            recorder->setListenAddress(telemetry->address());
+            net::TelemetryService* service = &telemetry->service();
+            recorder->setStatusListener(
+                [service](const std::string& payload) {
+                    service->setStatusJson(payload);
                 });
-        } else {
-            engine.setGenerationCallback(writer->callback());
         }
     }
 
@@ -374,6 +394,13 @@ runFromConfig(const RunConfig& cfg)
                   stats::StatsRegistry::instance().jsonDump());
         debug("stats recorded in ", cfg.outputDirectory,
               "/stats.txt and metrics.json");
+    }
+    if (telemetry) {
+        // After recorder->finish() and the stats dump: the last scrape
+        // a client can make agrees with the sealed artifacts.
+        telemetry->service().noteRunCompleted();
+        result.listenAddress = telemetry->address();
+        telemetry->stop();
     }
     if (cfg.recordStats)
         stats::setEnabled(stats_were_enabled);

@@ -111,6 +111,18 @@ struct RunConfig
      */
     std::optional<bool> steadyStateOverride;
 
+    /**
+     * host:port for the live telemetry server (<output
+     * listen="127.0.0.1:0"/> or the CLI's --listen; default off). When
+     * set, the run hosts the embedded HTTP endpoints (/metrics,
+     * /status, /history, /champion, /events) for its duration; port 0
+     * asks the kernel for an ephemeral port, echoed to the log and
+     * into status.json. Serving is strictly read-only and never
+     * touches the GA RNG: run artifacts are bit-identical with the
+     * server on or off. See docs/observability.md, "Live endpoints".
+     */
+    std::string listenAddress;
+
     /** Raw main-configuration text (record keeping). */
     std::string rawText;
 
@@ -171,6 +183,12 @@ struct RunResult
      * first; empty when waveform capture was off).
      */
     std::vector<std::string> waveformFiles;
+
+    /**
+     * host:port the telemetry server actually bound (ephemeral port
+     * resolved; empty when --listen was off).
+     */
+    std::string listenAddress;
 };
 
 /**

@@ -116,6 +116,13 @@ Engine::setGenerationCallback(GenerationCallback callback)
 }
 
 void
+Engine::addGenerationObserver(GenerationCallback observer)
+{
+    if (observer)
+        _observers.push_back(std::move(observer));
+}
+
+void
 Engine::setTraceWriter(output::TraceWriter* trace)
 {
     _trace = trace;
@@ -381,6 +388,8 @@ Engine::evaluatePopulation()
         _analytics->onGenerationEvaluated(_population, generationRecord);
     if (_callback)
         _callback(_population, generationRecord);
+    for (const GenerationCallback& observer : _observers)
+        observer(_population, generationRecord);
 }
 
 void

@@ -94,6 +94,18 @@ class Engine
     void setGenerationCallback(GenerationCallback callback);
 
     /**
+     * Install an additional per-generation observer; unlike
+     * setGenerationCallback (of which there is exactly one, owned by
+     * the run driver), any number of observers can stack — the flight
+     * recorder and the live telemetry service attach here. Observers
+     * run on the coordinator thread after the analytics recorder and
+     * the primary callback, in installation order; they must not
+     * mutate the GA (they receive const views and the engine never
+     * hands them the RNG).
+     */
+    void addGenerationObserver(GenerationCallback observer);
+
+    /**
      * Attach a Chrome-trace writer (may be null to detach). The engine
      * emits one complete event per generation phase on tid 0 and one
      * per measurement on the worker's tid (worker id + 1); attaching a
@@ -201,6 +213,7 @@ class Engine
     std::optional<Individual> _bestEver;
     std::vector<GenerationRecord> _history;
     GenerationCallback _callback;
+    std::vector<GenerationCallback> _observers;
     std::uint64_t _nextId = 1;
     std::uint64_t _evaluations = 0;
     bool _initialized = false;

@@ -1,0 +1,184 @@
+#include "net/http_client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace gest {
+namespace net {
+
+namespace {
+
+/** strtol without the fatal() of util::parseInt: clients report. */
+bool
+tryParseInt(const std::string& s, int& out)
+{
+    if (s.empty())
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+struct ParsedUrl
+{
+    std::string host;
+    int port = 0;
+    std::string path = "/";
+};
+
+bool
+parseUrl(const std::string& url, ParsedUrl& out, std::string& error)
+{
+    std::string rest = url;
+    const std::string scheme = "http://";
+    if (rest.rfind(scheme, 0) == 0)
+        rest = rest.substr(scheme.size());
+    else if (rest.find("://") != std::string::npos) {
+        error = "unsupported scheme in '" + url + "' (http only)";
+        return false;
+    }
+
+    const std::size_t slash = rest.find('/');
+    std::string hostport =
+        slash == std::string::npos ? rest : rest.substr(0, slash);
+    if (slash != std::string::npos)
+        out.path = rest.substr(slash);
+
+    const std::size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos) {
+        error = "no port in '" + url + "' (expected host:port[/path])";
+        return false;
+    }
+    out.host = hostport.substr(0, colon);
+    if (out.host == "localhost")
+        out.host = "127.0.0.1";
+    int port = 0;
+    if (!tryParseInt(hostport.substr(colon + 1), port) || port <= 0 ||
+        port > 65535) {
+        error = "bad port in '" + url + "'";
+        return false;
+    }
+    out.port = port;
+    return true;
+}
+
+bool
+sendAll(int fd, const char* data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+HttpResult
+httpGet(const std::string& url, int timeout_ms)
+{
+    HttpResult result;
+    ParsedUrl parsed;
+    if (!parseUrl(url, parsed, result.error))
+        return result;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(parsed.port));
+    if (::inet_pton(AF_INET, parsed.host.c_str(), &addr.sin_addr) != 1) {
+        result.error = "bad host '" + parsed.host +
+                       "' (IPv4 literal or localhost only)";
+        return result;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        result.error = std::string("socket: ") + std::strerror(errno);
+        return result;
+    }
+
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        result.error = "connect to " + parsed.host + ":" +
+                       std::to_string(parsed.port) + ": " +
+                       std::strerror(errno);
+        ::close(fd);
+        return result;
+    }
+
+    const std::string request = "GET " + parsed.path +
+                                " HTTP/1.1\r\nHost: " + parsed.host +
+                                "\r\nConnection: close\r\n\r\n";
+    if (!sendAll(fd, request.data(), request.size())) {
+        result.error = std::string("send: ") + std::strerror(errno);
+        ::close(fd);
+        return result;
+    }
+
+    // The server always closes after one response, so read to EOF.
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            result.error = std::string("recv: ") + std::strerror(errno);
+            ::close(fd);
+            return result;
+        }
+        if (n == 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+        if (raw.size() > (64u << 20)) {
+            result.error = "response too large";
+            ::close(fd);
+            return result;
+        }
+    }
+    ::close(fd);
+
+    // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+    if (raw.rfind("HTTP/1.", 0) != 0) {
+        result.error = "malformed response (no status line)";
+        return result;
+    }
+    const std::size_t sp = raw.find(' ');
+    if (sp == std::string::npos ||
+        !tryParseInt(raw.substr(sp + 1, 3), result.status)) {
+        result.error = "malformed status line";
+        return result;
+    }
+    const std::size_t headerEnd = raw.find("\r\n\r\n");
+    result.body =
+        headerEnd == std::string::npos ? "" : raw.substr(headerEnd + 4);
+    result.ok = true;
+    return result;
+}
+
+} // namespace net
+} // namespace gest

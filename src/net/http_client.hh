@@ -1,0 +1,38 @@
+/**
+ * @file
+ * A minimal blocking HTTP/1.1 GET client, just enough to scrape the
+ * embedded telemetry server from `gest top` and the tests. Loopback
+ * IPv4 only, no TLS, no redirects, no keep-alive — by design the exact
+ * mirror of what HttpServer serves.
+ */
+
+#ifndef GEST_NET_HTTP_CLIENT_HH
+#define GEST_NET_HTTP_CLIENT_HH
+
+#include <string>
+
+namespace gest {
+namespace net {
+
+/** Outcome of one GET. */
+struct HttpResult
+{
+    bool ok = false;        ///< transport worked and a status was parsed
+    int status = 0;         ///< HTTP status code (0 on transport error)
+    std::string body;       ///< response body (headers stripped)
+    std::string error;      ///< human-readable failure when !ok
+};
+
+/**
+ * Fetch @p url, which may be "http://host:port/path", "host:port/path"
+ * or "host:port" (path defaults to "/"). Host must be a dotted IPv4
+ * literal or "localhost". Never throws; inspect HttpResult.
+ *
+ * @param timeout_ms connect/read timeout per socket operation
+ */
+HttpResult httpGet(const std::string& url, int timeout_ms = 2000);
+
+} // namespace net
+} // namespace gest
+
+#endif // GEST_NET_HTTP_CLIENT_HH

@@ -1,0 +1,418 @@
+#include "net/telemetry.hh"
+
+#include <cstdio>
+
+#include "analysis/recorder.hh"
+#include "core/individual.hh"
+#include "stats/stats.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace net {
+
+namespace {
+
+/** Stat name → Prometheus metric name: gest_ prefix, [a-zA-Z0-9_]. */
+std::string
+prometheusName(const std::string& name)
+{
+    std::string out = "gest_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+prometheusDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Escape a HELP text: Prometheus wants \\ and \n escaped. */
+std::string
+helpEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+void
+appendHeader(std::string& out, const std::string& metric,
+             const std::string& desc, const char* type)
+{
+    if (!desc.empty())
+        out += "# HELP " + metric + " " + helpEscape(desc) + "\n";
+    out += "# TYPE " + metric + " " + type + "\n";
+}
+
+} // namespace
+
+std::string
+renderPrometheusMetrics()
+{
+    stats::StatsRegistry& registry = stats::StatsRegistry::instance();
+    std::string out;
+    out.reserve(4096);
+
+    for (const stats::Counter* c : registry.counterList()) {
+        const std::string metric = prometheusName(c->name()) + "_total";
+        appendHeader(out, metric, c->desc(), "counter");
+        out += metric + " " + std::to_string(c->value()) + "\n";
+    }
+    for (const stats::Gauge* g : registry.gaugeList()) {
+        const std::string metric = prometheusName(g->name());
+        appendHeader(out, metric, g->desc(), "gauge");
+        out += metric + " " + prometheusDouble(g->value()) + "\n";
+    }
+    for (const stats::Histogram* h : registry.histogramList()) {
+        const std::string metric = prometheusName(h->name());
+        appendHeader(out, metric, h->desc(), "histogram");
+        // Cumulative le buckets; the underflow bucket folds into the
+        // first edge, the overflow bucket only into +Inf.
+        std::uint64_t cumulative = h->underflow();
+        for (std::size_t i = 0; i < h->numBuckets(); ++i) {
+            cumulative += h->bucketCount(i);
+            out += metric + "_bucket{le=\"" +
+                   prometheusDouble(h->bucketLo(i + 1)) + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += metric + "_bucket{le=\"+Inf\"} " +
+               std::to_string(h->count()) + "\n";
+        out += metric + "_sum " + prometheusDouble(h->sum()) + "\n";
+        out += metric + "_count " + std::to_string(h->count()) + "\n";
+        // Quantile gauges from the shared stats::Histogram::quantile
+        // implementation (native histograms carry no quantiles).
+        const char* qs[] = {"0.5", "0.95", "0.99"};
+        const double qv[] = {0.50, 0.95, 0.99};
+        appendHeader(out, metric + "_quantile", "", "gauge");
+        for (int i = 0; i < 3; ++i) {
+            out += metric + "_quantile{quantile=\"" + qs[i] + "\"} " +
+                   prometheusDouble(h->quantile(qv[i])) + "\n";
+        }
+    }
+    return out;
+}
+
+GenerationEventBuffer::GenerationEventBuffer(std::size_t capacity)
+    : _slots(capacity == 0 ? 1 : capacity)
+{
+    for (std::atomic<const std::string*>& slot : _slots)
+        slot.store(nullptr, std::memory_order_relaxed);
+}
+
+GenerationEventBuffer::~GenerationEventBuffer()
+{
+    const std::size_t n = _size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i)
+        delete _slots[i].load(std::memory_order_relaxed);
+}
+
+void
+GenerationEventBuffer::publish(std::string payload)
+{
+    const std::size_t n = _size.load(std::memory_order_relaxed);
+    if (n >= _slots.size()) {
+        _dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    // Slot first, then size with release: a reader that acquires the
+    // new size is guaranteed to see the fully constructed string.
+    _slots[n].store(new std::string(std::move(payload)),
+                    std::memory_order_relaxed);
+    _size.store(n + 1, std::memory_order_release);
+}
+
+TelemetryService::TelemetryService(const isa::InstructionLibrary& lib,
+                                   int total_generations)
+    : _lib(lib), _totalGenerations(total_generations),
+      _startUs(stats::nowUs()),
+      // Capacity for the whole run plus slack for stagnation overruns
+      // and tests that step past the budget.
+      _events(static_cast<std::size_t>(
+                  total_generations > 0 ? total_generations : 1) +
+              64)
+{
+    analysis::StatusSnapshot empty;
+    empty.generation = -1;
+    empty.totalGenerations = total_generations;
+    _statusJson = analysis::formatStatusJson(empty);
+    _championJson = "{\n  \"state\": \"no champion yet\"\n}\n";
+}
+
+void
+TelemetryService::onGenerationEvaluated(const core::Population& pop,
+                                        const core::GenerationRecord& rec)
+{
+    _totalMeasured += rec.cacheMisses;
+    _totalCacheHits += rec.cacheHits;
+
+    // History row: same quantities as a history.csv line, as JSON.
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "{\"generation\": %d, \"best_fitness\": %.17g, "
+        "\"average_fitness\": %.17g, \"best_id\": %llu, "
+        "\"diversity\": %.6f, \"cache_hits\": %llu, "
+        "\"cache_misses\": %llu, \"evaluation_ms\": %.3f}",
+        rec.generation, rec.bestFitness, rec.averageFitness,
+        static_cast<unsigned long long>(rec.bestId), rec.diversity,
+        static_cast<unsigned long long>(rec.cacheHits),
+        static_cast<unsigned long long>(rec.cacheMisses),
+        rec.evaluationMs);
+
+    // SSE frame: replayable from index 0, id = generation.
+    std::string frame = "event: generation\nid: ";
+    frame += std::to_string(rec.generation);
+    frame += "\ndata: ";
+    frame += row;
+    frame += "\n\n";
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        const bool improved = !_haveChampion ||
+                              rec.bestFitness > _bestFitness;
+        if (improved && pop.bestIndex() >= 0) {
+            const core::Individual& best = pop.best();
+            _haveChampion = true;
+            _bestFitness = best.fitness;
+            std::string json = "{\n  \"generation\": " +
+                               std::to_string(rec.generation) +
+                               ",\n  \"id\": " + std::to_string(best.id);
+            char fit[64];
+            std::snprintf(fit, sizeof(fit), "%.17g", best.fitness);
+            json += ",\n  \"fitness\": ";
+            json += fit;
+            json += ",\n  \"measurements\": [";
+            for (std::size_t i = 0; i < best.measurements.size(); ++i) {
+                char m[64];
+                std::snprintf(m, sizeof(m), "%.17g",
+                              best.measurements[i]);
+                json += i == 0 ? "" : ", ";
+                json += m;
+            }
+            json += "],\n  \"code\": [";
+            const std::vector<std::string> lines =
+                core::renderLines(_lib, best);
+            for (std::size_t i = 0; i < lines.size(); ++i) {
+                json += i == 0 ? "\n    \"" : ",\n    \"";
+                json += jsonEscape(lines[i]);
+                json += "\"";
+            }
+            json += lines.empty() ? "]\n}\n" : "\n  ]\n}\n";
+            _championJson = std::move(json);
+        }
+        _historyRows.emplace_back(row);
+        if (!_externalStatus)
+            _statusJson = composeStatus(rec);
+    }
+
+    // Publish the SSE event last so a client woken by it can already
+    // read the matching snapshots.
+    _events.publish(std::move(frame));
+}
+
+std::string
+TelemetryService::composeStatus(const core::GenerationRecord& rec) const
+{
+    const double elapsed_s = (stats::nowUs() - _startUs) / 1e6;
+    const int done = rec.generation + 1;
+    const std::uint64_t resolved = _totalMeasured + _totalCacheHits;
+
+    analysis::StatusSnapshot snapshot;
+    snapshot.running = true;
+    snapshot.generation = rec.generation;
+    snapshot.totalGenerations = _totalGenerations;
+    snapshot.bestFitness = rec.bestFitness;
+    snapshot.averageFitness = rec.averageFitness;
+    snapshot.diversity = rec.diversity;
+    snapshot.evaluations = _totalMeasured;
+    snapshot.cacheHitRate =
+        resolved > 0 ? static_cast<double>(_totalCacheHits) /
+                           static_cast<double>(resolved)
+                     : 0.0;
+    snapshot.evalsPerSec =
+        elapsed_s > 0.0 ? static_cast<double>(_totalMeasured) / elapsed_s
+                        : 0.0;
+    snapshot.elapsedSeconds = elapsed_s;
+    snapshot.etaSeconds =
+        _totalGenerations > done && done > 0
+            ? elapsed_s / static_cast<double>(done) *
+                  static_cast<double>(_totalGenerations - done)
+            : 0.0;
+    analysis::fillSteadyCounters(snapshot);
+    return analysis::formatStatusJson(snapshot);
+}
+
+void
+TelemetryService::setStatusJson(std::string payload)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _externalStatus = true;
+    _statusJson = std::move(payload);
+}
+
+void
+TelemetryService::noteRunCompleted()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        // Flip the self-composed status to "completed"; an external
+        // (recorder-fed) status already says so via Recorder::finish().
+        if (!_externalStatus) {
+            const std::string needle = "\"state\": \"running\"";
+            const std::size_t pos = _statusJson.find(needle);
+            if (pos != std::string::npos)
+                _statusJson.replace(pos, needle.size(),
+                                    "\"state\": \"completed\"");
+        }
+    }
+    _completed.store(true, std::memory_order_release);
+}
+
+std::string
+TelemetryService::statusJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _statusJson;
+}
+
+std::string
+TelemetryService::championJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _championJson;
+}
+
+std::string
+TelemetryService::historyJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::string out = "[";
+    for (std::size_t i = 0; i < _historyRows.size(); ++i) {
+        out += i == 0 ? "\n  " : ",\n  ";
+        out += _historyRows[i];
+    }
+    out += _historyRows.empty() ? "]\n" : "\n]\n";
+    return out;
+}
+
+std::size_t
+TelemetryService::generationsSeen() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _historyRows.size();
+}
+
+TelemetryServer::TelemetryServer(std::string listen_address,
+                                 const isa::InstructionLibrary& lib,
+                                 int total_generations,
+                                 HttpServer::Options options)
+    : _service(lib, total_generations),
+      _http(std::move(listen_address), options)
+{
+    _http.route("/metrics", [](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        res.body = renderPrometheusMetrics();
+        return res;
+    });
+    _http.route("/status", [this](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "application/json";
+        res.body = _service.statusJson();
+        return res;
+    });
+    _http.route("/history", [this](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "application/json";
+        res.body = _service.historyJson();
+        return res;
+    });
+    _http.route("/champion", [this](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "application/json";
+        res.body = _service.championJson();
+        return res;
+    });
+    _http.route("/healthz", [this](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "application/json";
+        res.body = std::string("{\"status\": \"ok\", \"state\": \"") +
+                   (_service.completed() ? "completed" : "running") +
+                   "\"}\n";
+        return res;
+    });
+    _http.route("/", [](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "text/plain; charset=utf-8";
+        res.body = "gest live telemetry\n"
+                   "  /metrics   Prometheus text exposition\n"
+                   "  /status    status.json heartbeat\n"
+                   "  /history   per-generation history (JSON)\n"
+                   "  /champion  current best individual (JSON)\n"
+                   "  /events    SSE, one event per generation\n"
+                   "  /healthz   liveness probe\n";
+        return res;
+    });
+    _http.routeStream("/events", [this](const HttpRequest&,
+                                        StreamWriter& writer) {
+        if (!writer.write("retry: 1000\n\n"))
+            return;
+        std::size_t sent = 0;
+        while (writer.ok()) {
+            const GenerationEventBuffer& events = _service.events();
+            const std::size_t available = events.size();
+            while (sent < available) {
+                if (!writer.write(*events.at(sent)))
+                    return;
+                ++sent;
+            }
+            if (_service.completed() &&
+                sent == _service.events().size()) {
+                writer.write(
+                    "event: end\ndata: {\"state\": \"completed\"}\n\n");
+                return;
+            }
+            writer.waitBriefly(25);
+        }
+    });
+}
+
+void
+TelemetryServer::start()
+{
+    _http.start();
+}
+
+void
+TelemetryServer::stop()
+{
+    _http.stop();
+}
+
+core::Engine::GenerationCallback
+TelemetryServer::observer()
+{
+    return [this](const core::Population& pop,
+                  const core::GenerationRecord& record) {
+        _service.onGenerationEvaluated(pop, record);
+    };
+}
+
+} // namespace net
+} // namespace gest

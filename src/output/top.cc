@@ -1,0 +1,303 @@
+#include "output/top.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/http_client.hh"
+#include "output/report.hh"
+#include "util/fileutil.hh"
+#include "util/jsonlite.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace gest {
+namespace output {
+
+namespace {
+
+/** Fill the /status-shaped fields of @p out from parsed JSON. */
+void
+applyStatus(const json::Value& status, TopSnapshot& out)
+{
+    out.state = status.stringOr("state", "unknown");
+    out.generation =
+        static_cast<int>(status.numberOr("generation", -1));
+    out.totalGenerations =
+        static_cast<int>(status.numberOr("total_generations", 0));
+    out.bestFitness = status.numberOr("best_fitness", 0.0);
+    out.averageFitness = status.numberOr("average_fitness", 0.0);
+    out.diversity = status.numberOr("diversity", 0.0);
+    out.evaluations = static_cast<std::uint64_t>(
+        status.numberOr("evaluations", 0.0));
+    out.cacheHitRate = status.numberOr("cache_hit_rate", 0.0);
+    out.evalsPerSec = status.numberOr("evals_per_sec", 0.0);
+    out.elapsedSeconds = status.numberOr("elapsed_seconds", 0.0);
+    out.etaSeconds = status.numberOr("eta_seconds", 0.0);
+    out.steadyHits = static_cast<std::uint64_t>(
+        status.numberOr("steady_hits", 0.0));
+    out.cyclesSimulated = static_cast<std::uint64_t>(
+        status.numberOr("cycles_simulated", 0.0));
+    out.cyclesTiled = static_cast<std::uint64_t>(
+        status.numberOr("cycles_tiled", 0.0));
+}
+
+/** Value of the first "<metric> <number>" line, or @p fallback. */
+double
+metricValue(const std::string& metrics, const std::string& metric,
+            double fallback)
+{
+    std::size_t pos = 0;
+    while (pos < metrics.size()) {
+        std::size_t eol = metrics.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = metrics.size();
+        if (metrics.compare(pos, metric.size(), metric) == 0 &&
+            pos + metric.size() < eol &&
+            metrics[pos + metric.size()] == ' ') {
+            return std::strtod(metrics.c_str() + pos + metric.size() + 1,
+                               nullptr);
+        }
+        pos = eol + 1;
+    }
+    return fallback;
+}
+
+/** Per-worker busy fractions from engine.worker.N.busy_us counters. */
+std::vector<double>
+workerBusyFromMetrics(const std::string& metrics, double elapsed_s)
+{
+    std::vector<double> out;
+    if (elapsed_s <= 0.0)
+        return out;
+    for (int w = 0;; ++w) {
+        const double busy_us = metricValue(
+            metrics,
+            "gest_engine_worker_" + std::to_string(w) + "_busy_us_total",
+            -1.0);
+        if (busy_us < 0.0)
+            break;
+        out.push_back(
+            std::min(1.0, busy_us / 1e6 / elapsed_s));
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+fetchTopSnapshot(const std::string& url, TopSnapshot& out)
+{
+    out = TopSnapshot();
+    out.live = true;
+    std::string base = url;
+    while (!base.empty() && base.back() == '/')
+        base.pop_back();
+    out.source = base;
+
+    const net::HttpResult status_res = net::httpGet(base + "/status");
+    if (!status_res.ok || status_res.status != 200) {
+        out.error = status_res.ok
+                        ? "/status returned HTTP " +
+                              std::to_string(status_res.status)
+                        : status_res.error;
+        return false;
+    }
+    json::Value status;
+    std::string parse_error;
+    if (!json::parse(status_res.body, status, &parse_error)) {
+        out.error = "/status is not valid JSON: " + parse_error;
+        return false;
+    }
+    applyStatus(status, out);
+
+    const net::HttpResult history_res = net::httpGet(base + "/history");
+    if (history_res.ok && history_res.status == 200) {
+        json::Value history;
+        if (json::parse(history_res.body, history, nullptr) &&
+            history.isArray()) {
+            for (const json::Value& row : history.array) {
+                out.bestTrajectory.push_back(
+                    row.numberOr("best_fitness", 0.0));
+                out.evaluationMs += row.numberOr("evaluation_ms", 0.0);
+            }
+        }
+    }
+
+    const net::HttpResult metrics_res = net::httpGet(base + "/metrics");
+    if (metrics_res.ok && metrics_res.status == 200) {
+        const std::string& m = metrics_res.body;
+        out.selectionMs =
+            metricValue(m, "gest_engine_selection_us_sum", 0.0) / 1e3;
+        out.crossoverMs =
+            metricValue(m, "gest_engine_crossover_us_sum", 0.0) / 1e3;
+        out.mutationMs =
+            metricValue(m, "gest_engine_mutation_us_sum", 0.0) / 1e3;
+        out.simEvaluations = static_cast<std::uint64_t>(metricValue(
+            m, "gest_measure_sim_evaluations_total", 0.0));
+        out.workerBusyFrac =
+            workerBusyFromMetrics(m, out.elapsedSeconds);
+    }
+    return true;
+}
+
+bool
+loadTopSnapshot(const std::string& run_dir, TopSnapshot& out)
+{
+    out = TopSnapshot();
+    out.live = false;
+    out.source = run_dir;
+
+    // history.csv is the ground truth a run always writes; status.json
+    // (analytics on) refines it with rates and the live state.
+    try {
+        const RunReport report = analyzeRun(run_dir);
+        for (const HistoryRow& row : report.rows)
+            out.bestTrajectory.push_back(row.bestFitness);
+        if (!report.rows.empty()) {
+            const HistoryRow& last = report.rows.back();
+            out.generation = last.generation;
+            out.bestFitness = report.bestFitness;
+            out.averageFitness = last.averageFitness;
+            out.diversity = last.diversity;
+        }
+        out.evaluations = report.totalMeasured;
+        out.cacheHitRate = report.cacheHitRate();
+        out.evalsPerSec = report.evaluationsPerSecond();
+        out.selectionMs = report.selectionMs;
+        out.crossoverMs = report.crossoverMs;
+        out.mutationMs = report.mutationMs;
+        out.evaluationMs = report.evaluationMs;
+        out.steadyHits = report.steadyHits;
+        out.cyclesSimulated = report.cyclesSimulated;
+        out.cyclesTiled = report.cyclesTiled;
+        out.simEvaluations = report.simEvaluations;
+    } catch (const FatalError& err) {
+        out.error = err.what();
+        return false;
+    }
+
+    std::string status_text;
+    if (tryReadFile(run_dir + "/status.json", status_text)) {
+        json::Value status;
+        if (json::parse(status_text, status, nullptr))
+            applyStatus(status, out);
+    } else {
+        out.state = "unknown (no status.json; analytics off?)";
+    }
+    return true;
+}
+
+std::string
+sparkline(const std::vector<double>& values, std::size_t width)
+{
+    static const char* glyphs[] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+    if (values.empty() || width == 0)
+        return "";
+
+    // Bucket down to `width` cells, keeping each bucket's last value
+    // (the trajectory is monotone enough that last ≈ max and the right
+    // edge always shows the current value).
+    std::vector<double> cells;
+    const std::size_t n = values.size();
+    if (n <= width) {
+        cells = values;
+    } else {
+        for (std::size_t c = 0; c < width; ++c) {
+            const std::size_t end = (c + 1) * n / width;
+            cells.push_back(values[end == 0 ? 0 : end - 1]);
+        }
+    }
+    const auto [lo_it, hi_it] =
+        std::minmax_element(cells.begin(), cells.end());
+    const double lo = *lo_it, hi = *hi_it;
+    std::string out;
+    for (double v : cells) {
+        int level = 3;  // flat line renders mid-height
+        if (hi > lo) {
+            level = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+            level = std::min(7, std::max(0, level));
+        }
+        out += glyphs[level];
+    }
+    return out;
+}
+
+std::string
+renderTop(const TopSnapshot& snapshot)
+{
+    char line[256];
+    std::string out;
+    out += "gest top — " + snapshot.source +
+           (snapshot.live ? " (live)\n" : " (files)\n");
+    if (!snapshot.error.empty()) {
+        out += "error: " + snapshot.error + "\n";
+        return out;
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "state %-10s gen %d/%d   elapsed %.1fs   eta %.1fs\n",
+                  snapshot.state.c_str(), snapshot.generation,
+                  snapshot.totalGenerations, snapshot.elapsedSeconds,
+                  snapshot.etaSeconds);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "best %.6f   avg %.6f   diversity %.3f\n",
+                  snapshot.bestFitness, snapshot.averageFitness,
+                  snapshot.diversity);
+    out += line;
+    if (!snapshot.bestTrajectory.empty()) {
+        out += "fitness " + sparkline(snapshot.bestTrajectory, 60) +
+               "\n";
+    }
+    std::snprintf(line, sizeof(line),
+                  "evals %llu (%.1f/s)   cache hits %.1f%%",
+                  static_cast<unsigned long long>(snapshot.evaluations),
+                  snapshot.evalsPerSec, 100.0 * snapshot.cacheHitRate);
+    out += line;
+    if (snapshot.simEvaluations > 0) {
+        std::snprintf(
+            line, sizeof(line), "   steady hits %.1f%%",
+            100.0 * static_cast<double>(snapshot.steadyHits) /
+                static_cast<double>(snapshot.simEvaluations));
+        out += line;
+    }
+    const std::uint64_t cycles =
+        snapshot.cyclesSimulated + snapshot.cyclesTiled;
+    if (cycles > 0) {
+        std::snprintf(line, sizeof(line), "   tiled cycles %.1f%%",
+                      100.0 * static_cast<double>(snapshot.cyclesTiled) /
+                          static_cast<double>(cycles));
+        out += line;
+    }
+    out += "\n";
+
+    const double phase_total = snapshot.selectionMs +
+                               snapshot.crossoverMs +
+                               snapshot.mutationMs +
+                               snapshot.evaluationMs;
+    if (phase_total > 0.0) {
+        std::snprintf(line, sizeof(line),
+                      "phases selection %.1f ms | crossover %.1f ms | "
+                      "mutation %.1f ms | evaluation %.1f ms\n",
+                      snapshot.selectionMs, snapshot.crossoverMs,
+                      snapshot.mutationMs, snapshot.evaluationMs);
+        out += line;
+    }
+    if (!snapshot.workerBusyFrac.empty()) {
+        out += "workers";
+        for (std::size_t w = 0; w < snapshot.workerBusyFrac.size();
+             ++w) {
+            std::snprintf(line, sizeof(line), " #%zu %.0f%%", w,
+                          100.0 * snapshot.workerBusyFrac[w]);
+            out += line;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace output
+} // namespace gest

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The live terminal dashboard behind `gest top <url|run_dir>`: one
+ * snapshot of an in-flight (or finished) run, collected either by
+ * scraping the embedded telemetry server (/status, /history, /metrics)
+ * or by polling the run directory's files when no server is listening.
+ * Collection and rendering are split so tests can render canned
+ * snapshots without a server or a terminal.
+ */
+
+#ifndef GEST_OUTPUT_TOP_HH
+#define GEST_OUTPUT_TOP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gest {
+namespace output {
+
+/** Everything one `gest top` refresh displays. */
+struct TopSnapshot
+{
+    /** true: scraped over HTTP; false: read from run-dir files. */
+    bool live = false;
+
+    /** The URL or run directory the snapshot came from. */
+    std::string source;
+
+    std::string state = "unknown";  ///< "running" or "completed"
+    int generation = -1;
+    int totalGenerations = 0;
+
+    double bestFitness = 0.0;
+    double averageFitness = 0.0;
+    double diversity = 0.0;
+
+    std::uint64_t evaluations = 0;
+    double cacheHitRate = 0.0;  ///< [0, 1]
+    double evalsPerSec = 0.0;
+    double elapsedSeconds = 0.0;
+    double etaSeconds = 0.0;
+
+    // Steady-state fast path (zero when stats were off).
+    std::uint64_t steadyHits = 0;
+    std::uint64_t cyclesSimulated = 0;
+    std::uint64_t cyclesTiled = 0;
+    std::uint64_t simEvaluations = 0;
+
+    /** best_fitness per generation, for the sparkline. */
+    std::vector<double> bestTrajectory;
+
+    // Phase totals, milliseconds (zero when timing was off).
+    double selectionMs = 0.0;
+    double crossoverMs = 0.0;
+    double mutationMs = 0.0;
+    double evaluationMs = 0.0;
+
+    /** Busy fraction per evaluation worker, [0, 1]; may be empty. */
+    std::vector<double> workerBusyFrac;
+
+    /** Non-empty when collection failed; other fields are unusable. */
+    std::string error;
+};
+
+/**
+ * Scrape @p url (a telemetry server root, e.g. "127.0.0.1:8080" or
+ * "http://127.0.0.1:8080"). @return false — with snapshot.error set —
+ * when the server is unreachable or responds malformed.
+ */
+bool fetchTopSnapshot(const std::string& url, TopSnapshot& out);
+
+/**
+ * Build the same snapshot from @p run_dir's files (status.json +
+ * history.csv), for runs without --listen. @return false with
+ * snapshot.error set when the directory holds no readable run.
+ */
+bool loadTopSnapshot(const std::string& run_dir, TopSnapshot& out);
+
+/**
+ * Map @p values onto a @p width-glyph Unicode sparkline (block
+ * elements U+2581..U+2588); values are bucketed when there are more
+ * than @p width of them. Empty input renders as an empty string.
+ */
+std::string sparkline(const std::vector<double>& values,
+                      std::size_t width);
+
+/** Render one dashboard frame (multi-line, trailing newline). */
+std::string renderTop(const TopSnapshot& snapshot);
+
+} // namespace output
+} // namespace gest
+
+#endif // GEST_OUTPUT_TOP_HH

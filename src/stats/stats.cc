@@ -114,6 +114,38 @@ Histogram::maxSeen() const
     return count() == 0 ? 0.0 : _max.load(std::memory_order_relaxed);
 }
 
+double
+Histogram::quantile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double rank = q * static_cast<double>(n);
+    double cumulative =
+        static_cast<double>(_underflow.load(std::memory_order_relaxed));
+    double result;
+    if (rank <= cumulative) {
+        // The requested mass sits below the tracked range.
+        result = minSeen();
+    } else {
+        result = maxSeen();  // falls through when mass is in overflow
+        for (std::size_t i = 0; i < _buckets.size(); ++i) {
+            const double in_bucket = static_cast<double>(
+                _buckets[i].load(std::memory_order_relaxed));
+            if (in_bucket > 0.0 && rank <= cumulative + in_bucket) {
+                result = bucketLo(i) +
+                         _width * (rank - cumulative) / in_bucket;
+                break;
+            }
+            cumulative += in_bucket;
+        }
+    }
+    // Concurrent sampling can leave count/buckets momentarily out of
+    // step; the observed extremes are always a sane envelope.
+    return std::min(std::max(result, minSeen()), maxSeen());
+}
+
 void
 Histogram::reset()
 {
@@ -201,6 +233,39 @@ StatsRegistry::names() const
     return out;
 }
 
+std::vector<const Counter*>
+StatsRegistry::counterList() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<const Counter*> out;
+    out.reserve(_counters.size());
+    for (const std::unique_ptr<Counter>& c : _counters)
+        out.push_back(c.get());
+    return out;
+}
+
+std::vector<const Gauge*>
+StatsRegistry::gaugeList() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<const Gauge*> out;
+    out.reserve(_gauges.size());
+    for (const std::unique_ptr<Gauge>& g : _gauges)
+        out.push_back(g.get());
+    return out;
+}
+
+std::vector<const Histogram*>
+StatsRegistry::histogramList() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<const Histogram*> out;
+    out.reserve(_histograms.size());
+    for (const std::unique_ptr<Histogram>& h : _histograms)
+        out.push_back(h.get());
+    return out;
+}
+
 std::string
 StatsRegistry::textDump() const
 {
@@ -227,6 +292,9 @@ StatsRegistry::textDump() const
         line(h->name() + "::mean", formatValue(h->mean()), "");
         line(h->name() + "::min", formatValue(h->minSeen()), "");
         line(h->name() + "::max", formatValue(h->maxSeen()), "");
+        line(h->name() + "::p50", formatValue(h->quantile(0.50)), "");
+        line(h->name() + "::p95", formatValue(h->quantile(0.95)), "");
+        line(h->name() + "::p99", formatValue(h->quantile(0.99)), "");
         line(h->name() + "::sum", formatValue(h->sum()), "");
     }
     os << "---------- end stats ----------\n";
@@ -261,6 +329,9 @@ StatsRegistry::jsonDump() const
            << ", \"mean\": " << formatValue(h->mean())
            << ", \"min\": " << formatValue(h->minSeen())
            << ", \"max\": " << formatValue(h->maxSeen())
+           << ", \"p50\": " << formatValue(h->quantile(0.50))
+           << ", \"p95\": " << formatValue(h->quantile(0.95))
+           << ", \"p99\": " << formatValue(h->quantile(0.99))
            << ", \"lo\": " << formatValue(h->lo())
            << ", \"hi\": " << formatValue(h->hi())
            << ", \"underflow\": " << h->underflow()

@@ -154,6 +154,17 @@ class Histogram
     /** Largest sample seen; 0 when empty. */
     double maxSeen() const;
 
+    /**
+     * Quantile @p q in [0, 1] estimated from the bucket counts by
+     * linear interpolation within the covering bucket, clamped to the
+     * observed [minSeen, maxSeen] range (mass in the underflow or
+     * overflow bucket resolves to those extremes); 0 when empty. This
+     * is the one implementation behind the `::p50/::p95/::p99` lines
+     * in stats.txt, the `p50/p95/p99` keys in metrics.json and the
+     * quantile series of the /metrics Prometheus endpoint.
+     */
+    double quantile(double q) const;
+
     double lo() const { return _lo; }
     double hi() const { return _hi; }
 
@@ -242,6 +253,17 @@ class StatsRegistry
 
     /** Sorted names of all registered stats (tests, report). */
     std::vector<std::string> names() const;
+
+    /**
+     * Pointers to every registered stat of one kind, in registration
+     * order. The objects live for the process, so the pointers never
+     * dangle; values read off them are as fresh as their relaxed
+     * atomics. Used by renderers that need typed access (the /metrics
+     * Prometheus endpoint).
+     */
+    std::vector<const Counter*> counterList() const;
+    std::vector<const Gauge*> gaugeList() const;
+    std::vector<const Histogram*> histogramList() const;
 
   private:
     StatsRegistry() = default;

@@ -1,0 +1,439 @@
+#!/usr/bin/env python3
+"""Validate the live telemetry endpoints served by a gest run.
+
+Checks the whole scrape surface (docs/observability.md, "Live
+endpoints"):
+
+  * /status and /history are valid JSON with the documented keys;
+    history generations count up from 0;
+  * /champion carries the best individual's id/fitness/code;
+  * /metrics is well-formed Prometheus text exposition (HELP/TYPE
+    comments, one sample per line, histogram buckets cumulative and
+    consistent with _count);
+  * /events is well-framed SSE: "event:"/"id:"/"data:" lines, blank-line
+    separated, each data payload valid JSON with a generation number;
+  * counters scraped from /metrics reappear in the run's final
+    stats.txt with values >= the last scraped value (counters are
+    monotonic and the artifacts outlive the server).
+
+Usage:
+  check_metrics.py <url>                  one validation pass against a
+                                          live server (no file checks)
+  check_metrics.py --drive <gest-binary>  run a GA with --listen
+                                          127.0.0.1:0 in a temp dir,
+                                          scrape it while it runs, then
+                                          cross-check stats.txt
+
+Exit status 0 when everything validates; 1 with a message otherwise.
+On failure with GEST_CHECK_ARTIFACT_DIR set, the scratch directory is
+copied there for post-mortem.
+"""
+
+import json
+import os
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+ARTIFACT_SRC = None  # set by drive(); copied out by fail() on failure
+
+DRIVE_CONFIG = """<?xml version="1.0"?>
+<gest_configuration>
+  <ga population_size="24" individual_size="24" generations="200"
+      seed="13" threads="2" fitness_cache_size="64"/>
+  <library name="arm"/>
+  <measurement class="SimPowerMeasurement">
+    <config platform="cortex-a15"/>
+  </measurement>
+  <fitness class="DefaultFitness"/>
+  <output directory="out" listen="127.0.0.1:0"/>
+</gest_configuration>
+"""
+
+STATUS_KEYS = (
+    "state", "generation", "total_generations", "best_fitness",
+    "average_fitness", "diversity", "evaluations", "cache_hit_rate",
+    "evals_per_sec", "elapsed_seconds", "eta_seconds", "steady_hits",
+    "cycles_simulated", "cycles_tiled", "listen",
+)
+
+HISTORY_KEYS = (
+    "generation", "best_fitness", "average_fitness", "best_id",
+    "diversity", "cache_hits", "cache_misses", "evaluation_ms",
+)
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$")
+
+
+def fail(message):
+    if ARTIFACT_SRC is not None:
+        dest = os.environ.get("GEST_CHECK_ARTIFACT_DIR")
+        if dest:
+            target = os.path.join(dest, "check_metrics")
+            shutil.copytree(ARTIFACT_SRC, target, dirs_exist_ok=True)
+            print(f"check_metrics: scratch copied to {target}",
+                  file=sys.stderr)
+    print(f"check_metrics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+class ServerGone(Exception):
+    """A GET failed at the transport level (refused/reset/timeout).
+
+    During --drive this is usually the normal end-of-run race: the
+    run completed between the process-aliveness check and the GET, so
+    the server is already down. The drive loop decides whether that
+    is benign; everywhere else it is converted to fail().
+    """
+
+
+def get(url, timeout=5):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError) as err:
+        return None, str(err)
+
+
+def get_json(url, what):
+    status, body = get(url)
+    if status is None:
+        raise ServerGone(f"{what}: GET {url} failed: {body}")
+    if status != 200:
+        fail(f"{what}: GET {url} failed: {body}")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as err:
+        fail(f"{what} is not valid JSON: {err}\n{body[:400]}")
+
+
+def check_status(doc, require_listen):
+    if not isinstance(doc, dict):
+        fail(f"/status is not a JSON object: {doc!r}")
+    for key in STATUS_KEYS:
+        if key not in doc:
+            fail(f"/status lacks key '{key}': {sorted(doc)}")
+    if doc["state"] not in ("running", "completed"):
+        fail(f"/status state is {doc['state']!r}")
+    if require_listen and not doc["listen"]:
+        fail("/status 'listen' is empty although the server is up")
+
+
+def check_history(doc):
+    if not isinstance(doc, list):
+        fail(f"/history is not a JSON array: {type(doc)}")
+    for index, row in enumerate(doc):
+        for key in HISTORY_KEYS:
+            if key not in row:
+                fail(f"/history row {index} lacks '{key}': {row}")
+        if row["generation"] != index:
+            fail(f"/history row {index} has generation "
+                 f"{row['generation']} (rows must count up from 0)")
+    return len(doc)
+
+
+def check_champion(doc, expect_present):
+    if not isinstance(doc, dict):
+        fail(f"/champion is not a JSON object: {doc!r}")
+    if not expect_present:
+        return
+    for key in ("generation", "id", "fitness", "code"):
+        if key not in doc:
+            fail(f"/champion lacks key '{key}': {sorted(doc)}")
+    if not isinstance(doc["code"], list) or not doc["code"]:
+        fail("/champion 'code' is empty — champions always have a body")
+
+
+def check_metrics_text(text):
+    """Validate Prometheus exposition; return {counter_name: value}."""
+    typed = {}
+    counters = {}
+    histograms = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                fail(f"/metrics line {lineno}: bad TYPE comment: {line}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            fail(f"/metrics line {lineno}: unexpected comment: {line}")
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(f"/metrics line {lineno}: not a valid sample: {line!r}")
+        name, labels, value = match.groups()
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            fail(f"/metrics line {lineno}: sample '{name}' has no "
+                 "preceding # TYPE")
+        kind = typed.get(name, typed.get(base))
+        if kind == "counter":
+            counters[name] = float(value)
+        elif kind == "histogram" and name.endswith("_bucket"):
+            le = re.search(r'le="([^"]+)"', labels or "")
+            if not le:
+                fail(f"/metrics line {lineno}: bucket without le label")
+            histograms.setdefault(base, []).append(
+                (le.group(1), float(value)))
+        elif kind == "histogram" and name.endswith("_count"):
+            histograms.setdefault(base, []).append(
+                ("__count__", float(value)))
+    for base, rows in histograms.items():
+        buckets = [v for le, v in rows if le != "__count__"]
+        counts = [v for le, v in rows if le == "__count__"]
+        if any(b > a for a, b in zip(buckets[1:], buckets)):
+            fail(f"/metrics histogram {base}: buckets not cumulative: "
+                 f"{buckets}")
+        if not buckets or not counts or buckets[-1] != counts[0]:
+            fail(f"/metrics histogram {base}: le=+Inf bucket "
+                 f"{buckets[-1] if buckets else None} != _count "
+                 f"{counts[0] if counts else None}")
+    if not counters:
+        fail("/metrics exposes no counters at all")
+    return counters
+
+
+def check_sse(raw):
+    """Validate SSE framing; return the number of generation events."""
+    if not raw.startswith("retry:"):
+        fail(f"SSE stream does not open with a retry line: {raw[:80]!r}")
+    generations = []
+    for block in raw.split("\n\n"):
+        block = block.strip("\n")
+        if not block or block.startswith("retry:"):
+            continue
+        fields = {}
+        for line in block.split("\n"):
+            if ":" not in line:
+                fail(f"SSE block line without a colon: {line!r}")
+            key, _, value = line.partition(":")
+            fields[key] = value.strip()
+        if fields.get("event") == "end":
+            continue
+        if fields.get("event") != "generation":
+            fail(f"SSE block with unexpected event: {fields!r}")
+        for key in ("id", "data"):
+            if key not in fields:
+                fail(f"SSE generation block lacks '{key}': {block!r}")
+        try:
+            payload = json.loads(fields["data"])
+        except json.JSONDecodeError as err:
+            fail(f"SSE data is not JSON: {err}: {fields['data']!r}")
+        if payload.get("generation") != int(fields["id"]):
+            fail(f"SSE id {fields['id']} != data generation "
+                 f"{payload.get('generation')}")
+        generations.append(payload["generation"])
+    if generations != sorted(generations):
+        fail(f"SSE generations out of order: {generations}")
+    return len(generations)
+
+
+class SseReader(threading.Thread):
+    """Drains /events over a raw socket until the server closes it."""
+
+    def __init__(self, host, port):
+        super().__init__(daemon=True)
+        self.host, self.port = host, port
+        self.raw = b""
+        self.error = None
+
+    def run(self):
+        try:
+            with socket.create_connection(
+                    (self.host, self.port), timeout=60) as conn:
+                conn.sendall(
+                    f"GET /events HTTP/1.1\r\nHost: {self.host}\r\n"
+                    "Connection: close\r\n\r\n".encode())
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        return
+                    self.raw += chunk
+        except OSError as err:
+            self.error = str(err)
+
+    def body(self):
+        text = self.raw.decode("utf-8", errors="replace")
+        head, sep, body = text.partition("\r\n\r\n")
+        if not sep:
+            fail(f"SSE response has no header/body separator: {text[:200]!r}")
+        if "text/event-stream" not in head:
+            fail(f"SSE response is not text/event-stream: {head!r}")
+        return body
+
+
+def validate_endpoints(base, require_listen):
+    """One scrape pass; returns (generations_seen, counters)."""
+    status_doc = get_json(base + "/status", "/status")
+    check_status(status_doc, require_listen)
+    rows = check_history(get_json(base + "/history", "/history"))
+    check_champion(get_json(base + "/champion", "/champion"), rows > 0)
+    code, metrics_text = get(base + "/metrics")
+    if code is None:
+        raise ServerGone(f"/metrics: {metrics_text}")
+    if code != 200:
+        fail(f"/metrics failed: {metrics_text}")
+    counters = check_metrics_text(metrics_text)
+    code, health = get(base + "/healthz")
+    if code is None:
+        raise ServerGone(f"/healthz: {health}")
+    if code != 200 or json.loads(health).get("status") != "ok":
+        fail(f"/healthz unhealthy: {code} {health!r}")
+    return rows, counters
+
+
+def stats_txt_counters(path):
+    """Parse stats.txt into {prometheus_counter_name: value}."""
+    out = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    for line in lines:
+        parts = line.split()
+        if len(parts) < 2 or line.startswith("-") or "::" in parts[0]:
+            continue
+        try:
+            value = float(parts[1])
+        except ValueError:
+            continue
+        mangled = "gest_" + re.sub(r"[^a-zA-Z0-9]", "_", parts[0])
+        out[mangled + "_total"] = value
+    return out
+
+
+def cross_check(scraped, stats_path):
+    """Scraped counters must reappear in stats.txt, never smaller."""
+    final = stats_txt_counters(stats_path)
+    for name, value in scraped.items():
+        if name not in final:
+            fail(f"counter {name} was scraped from /metrics but has no "
+                 f"counterpart in {stats_path}")
+        if final[name] < value:
+            fail(f"counter {name}: final stats.txt value {final[name]} "
+                 f"< last scraped value {value} (counters are "
+                 "monotonic; the artifacts must agree with the scrape)")
+    print(f"check_metrics: OK: {len(scraped)} scraped counters "
+          f"cross-checked against stats.txt")
+
+
+def drive(gest_binary):
+    global ARTIFACT_SRC
+    # The run executes with cwd inside the scratch dir; a relative
+    # binary path (e.g. build/tools/gest) must survive the chdir.
+    gest_binary = os.path.abspath(gest_binary)
+    with tempfile.TemporaryDirectory(prefix="gest-metrics-") as work:
+        ARTIFACT_SRC = work
+        config = os.path.join(work, "config.xml")
+        with open(config, "w", encoding="utf-8") as handle:
+            handle.write(DRIVE_CONFIG)
+        process = subprocess.Popen(
+            [gest_binary, "run", config, "--quiet"], cwd=work,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            # The bound (ephemeral) port surfaces in the status.json
+            # heartbeat after the first generation.
+            status_path = os.path.join(work, "out", "status.json")
+            listen = None
+            for _ in range(600):
+                if process.poll() is not None:
+                    break
+                try:
+                    with open(status_path, encoding="utf-8") as handle:
+                        listen = json.load(handle).get("listen")
+                except (OSError, json.JSONDecodeError):
+                    listen = None
+                if listen:
+                    break
+                time.sleep(0.05)
+            if not listen:
+                out, err = process.communicate(timeout=60)
+                fail("no listen address appeared in status.json; "
+                     f"gest exited {process.returncode}:\n{out}{err}")
+
+            base = f"http://{listen}"
+            host, port = listen.rsplit(":", 1)
+            sse = SseReader(host, int(port))
+            sse.start()
+
+            scraped = {}
+            passes = 0
+            while process.poll() is None and passes < 50:
+                try:
+                    rows, counters = validate_endpoints(
+                        base, require_listen=True)
+                except ServerGone as err:
+                    # The run can complete between the aliveness check
+                    # above and the GET; a refused connection is only a
+                    # failure if the run is still going after a grace
+                    # period.
+                    time.sleep(0.5)
+                    if process.poll() is None:
+                        fail("server vanished while the run is still "
+                             f"alive: {err}")
+                    break
+                scraped.update(counters)
+                passes += 1
+                time.sleep(0.2)
+            out, err = process.communicate(timeout=120)
+            if process.returncode != 0:
+                fail(f"gest run failed ({process.returncode}):\n"
+                     f"{out}{err}")
+            if passes == 0:
+                fail("the run finished before a single scrape pass — "
+                     "raise generations in DRIVE_CONFIG")
+
+            sse.join(timeout=30)
+            if sse.error:
+                fail(f"SSE read failed: {sse.error}")
+            events = check_sse(sse.body())
+            if events == 0:
+                fail("SSE stream carried no generation events")
+
+            cross_check(scraped,
+                        os.path.join(work, "out", "stats.txt"))
+            print(f"check_metrics: OK: {passes} scrape passes, "
+                  f"{events} SSE generation events, run exit 0")
+            ARTIFACT_SRC = None
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--drive":
+        drive(argv[2])
+        return 0
+    if len(argv) == 2 and not argv[1].startswith("-"):
+        base = argv[1].rstrip("/")
+        if not base.startswith("http://"):
+            base = "http://" + base
+        try:
+            rows, counters = validate_endpoints(
+                base, require_listen=False)
+        except ServerGone as err:
+            fail(str(err))
+        print(f"check_metrics: OK: {base}: {rows} history rows, "
+              f"{len(counters)} counters")
+        return 0
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,7 +12,12 @@ accepted here loads in chrome://tracing and https://ui.perfetto.dev:
     args.name string;
   * every event's tid has a thread_name metadata record;
   * complete events on the same tid do not partially overlap (trace
-    viewers require proper nesting per thread).
+    viewers require proper nesting per thread);
+  * per tid, end timestamps (ts + dur) are non-decreasing in file
+    order: each thread emits a complete event when it finishes, so a
+    decreasing end time means reordered or corrupted emission (start
+    timestamps may legitimately decrease — a nested inner span is
+    emitted before its enclosing outer span).
 
 Usage:
   check_trace.py <trace.json>            validate an existing trace
@@ -89,6 +94,7 @@ def validate(path):
 
     named_tids = set()
     spans_by_tid = {}
+    last_end_by_tid = {}
     counts = {"X": 0, "i": 0, "M": 0}
     for index, event in enumerate(events):
         if not isinstance(event, dict):
@@ -114,6 +120,18 @@ def validate(path):
                 fail(f"complete event {index} has bad dur {dur!r}")
             spans_by_tid.setdefault(event["tid"], []).append(
                 (event["ts"], event["ts"] + dur, index))
+            # A thread emits each complete event at its end, so in file
+            # order the end times of one tid never go backwards even
+            # though start times may (inner spans precede outer ones).
+            tid, end = event["tid"], event["ts"] + dur
+            prev = last_end_by_tid.get(tid)
+            if prev is not None and end < prev[0]:
+                fail(f"event {index} (tid {tid}) ends at {end}, before "
+                     f"event {prev[1]} on the same tid ended at "
+                     f"{prev[0]}: per-tid end timestamps must be "
+                     "non-decreasing in file order (events emitted out "
+                     "of completion order, or ts/dur corrupted)")
+            last_end_by_tid[tid] = (end, index)
 
     if counts["X"] == 0:
         fail("no complete ('X') events — nothing to display")
@@ -145,6 +163,9 @@ def validate(path):
 
 def drive(gest_binary):
     global ARTIFACT_SRC
+    # The run executes with cwd inside the scratch dir; a relative
+    # binary path (e.g. build/tools/gest) must survive the chdir.
+    gest_binary = os.path.abspath(gest_binary)
     with tempfile.TemporaryDirectory(prefix="gest-trace-") as work:
         ARTIFACT_SRC = work
         config = os.path.join(work, "config.xml")

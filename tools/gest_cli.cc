@@ -31,6 +31,9 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "config/config.hh"
 #include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
@@ -38,6 +41,7 @@
 #include "native/native_measurement.hh"
 #include "output/report.hh"
 #include "output/stats.hh"
+#include "output/top.hh"
 #include "platform/platform.hh"
 #include "signal/analysis.hh"
 #include "signal/signal_probe.hh"
@@ -65,6 +69,8 @@ usage()
         "trajectory, pathologies\n"
         "  gest stats <run_dir>         per-generation statistics\n"
         "  gest fittest <run_dir>       print the fittest individual\n"
+        "  gest top <url|run_dir>       live dashboard of a run "
+        "(telemetry server or files)\n"
         "  gest platforms               list platform presets\n"
         "  gest classes                 list measurement/fitness "
         "classes\n"
@@ -75,6 +81,10 @@ usage()
         "default <output dir>/trace.json)\n"
         "                 --steady-state on|off (periodic-trace fast "
         "path; default on, bit-identical)\n"
+        "                 --listen host:port (serve live telemetry; "
+        "port 0 = ephemeral)\n"
+        "options for top: --interval SECONDS (refresh period, default "
+        "1) | --once (single frame)\n"
         "options for report: --json (machine-readable output)\n"
         "options for probe: --out <dir> (artifact directory; default "
         "<target>/probe)\n"
@@ -117,9 +127,11 @@ libraryForRun(const std::string& run_dir, const char* override_name)
 int
 cmdRun(const std::string& path, const char* threads_override,
        bool want_trace, const char* trace_file,
-       const char* steady_override)
+       const char* steady_override, const char* listen_override)
 {
     config::RunConfig cfg = config::loadConfig(path);
+    if (listen_override)
+        cfg.listenAddress = listen_override;
     if (threads_override) {
         cfg.ga.threads = static_cast<int>(
             parseInt(threads_override, "--threads"));
@@ -189,6 +201,10 @@ cmdRun(const std::string& path, const char* threads_override,
         std::printf("trace written to %s (open in chrome://tracing or "
                     "https://ui.perfetto.dev)\n",
                     result.traceFile.c_str());
+    if (!result.listenAddress.empty())
+        std::printf("telemetry served on http://%s (gest top %s)\n",
+                    result.listenAddress.c_str(),
+                    result.listenAddress.c_str());
     if (!result.waveformFiles.empty())
         std::printf("waveform captures sealed in %s/waveforms (%zu "
                     "files; validate with tools/check_waveforms.py)\n",
@@ -323,6 +339,54 @@ cmdFittest(const std::string& run_dir, const char* library_override)
 }
 
 int
+cmdTop(const std::string& target, double interval_s, bool once)
+{
+    // A target with no local directory behind it is treated as a
+    // telemetry URL ("host:port" or "http://host:port").
+    const bool is_url =
+        !dirExists(target) &&
+        (startsWith(target, "http://") ||
+         target.find(':') != std::string::npos);
+
+    bool had_success = false;
+    for (;;) {
+        output::TopSnapshot snapshot;
+        const bool ok = is_url ? output::fetchTopSnapshot(target, snapshot)
+                               : output::loadTopSnapshot(target, snapshot);
+        if (!ok) {
+            if (had_success) {
+                // The server went away mid-watch: the run finished and
+                // tore it down, which is a normal ending.
+                std::printf("telemetry source gone (%s); run finished?\n",
+                            snapshot.error.c_str());
+                return 0;
+            }
+            std::fprintf(stderr, "gest top: %s\n",
+                         snapshot.error.c_str());
+            return 1;
+        }
+        had_success = true;
+
+        const std::string frame = output::renderTop(snapshot);
+        if (once) {
+            std::printf("%s", frame.c_str());
+            return 0;
+        }
+        // Home + clear-to-end keeps the frame flicker-free on any VT100
+        // descendant without a curses dependency.
+        std::printf("\033[H\033[J%s(refresh %.1fs — ctrl-c to quit)\n",
+                    frame.c_str(), interval_s);
+        std::fflush(stdout);
+        if (snapshot.state == "completed") {
+            std::printf("run completed.\n");
+            return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<long>(interval_s * 1000.0)));
+    }
+}
+
+int
 cmdPlatforms()
 {
     for (const std::string& name : platform::Platform::presetNames()) {
@@ -371,8 +435,11 @@ try {
     const char* out_override = nullptr;
     const char* trace_file = nullptr;
     const char* steady_override = nullptr;
+    const char* listen_override = nullptr;
+    const char* interval_arg = nullptr;
     bool want_trace = false;
     bool want_json = false;
+    bool want_once = false;
     for (int i = 2; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--quiet") == 0) {
@@ -399,6 +466,16 @@ try {
             if (i + 1 >= argc)
                 fatal("--steady-state requires 'on' or 'off'");
             steady_override = argv[++i];
+        } else if (std::strcmp(arg, "--listen") == 0) {
+            if (i + 1 >= argc)
+                fatal("--listen requires host:port (e.g. 127.0.0.1:0)");
+            listen_override = argv[++i];
+        } else if (std::strcmp(arg, "--interval") == 0) {
+            if (i + 1 >= argc)
+                fatal("--interval requires a value in seconds");
+            interval_arg = argv[++i];
+        } else if (std::strcmp(arg, "--once") == 0) {
+            want_once = true;
         } else if (std::strcmp(arg, "--json") == 0) {
             want_json = true;
         } else if (startsWith(arg, "--")) {
@@ -410,7 +487,14 @@ try {
 
     if (command == "run" && positional.size() == 1)
         return cmdRun(positional[0], threads_override, want_trace,
-                      trace_file, steady_override);
+                      trace_file, steady_override, listen_override);
+    if (command == "top" && positional.size() == 1) {
+        double interval_s =
+            interval_arg ? parseDouble(interval_arg, "--interval") : 1.0;
+        if (interval_s < 0.1)
+            interval_s = 0.1;
+        return cmdTop(positional[0], interval_s, want_once);
+    }
     if (command == "probe" && positional.size() == 2)
         return cmdProbe(positional[0], positional[1], out_override);
     if (command == "report" && positional.size() == 1)
