@@ -89,9 +89,7 @@ formatStatusJson(const StatusSnapshot& snapshot)
         "  \"eta_seconds\": %.3f,\n"
         "  \"steady_hits\": %llu,\n"
         "  \"cycles_simulated\": %llu,\n"
-        "  \"cycles_tiled\": %llu,\n"
-        "  \"listen\": \"%s\"\n"
-        "}\n",
+        "  \"cycles_tiled\": %llu,\n",
         snapshot.running ? "running" : "completed", snapshot.generation,
         snapshot.totalGenerations, snapshot.bestFitness,
         snapshot.averageFitness, snapshot.diversity,
@@ -101,9 +99,19 @@ formatStatusJson(const StatusSnapshot& snapshot)
         snapshot.elapsedSeconds, snapshot.etaSeconds,
         static_cast<unsigned long long>(snapshot.steadyHits),
         static_cast<unsigned long long>(snapshot.cyclesSimulated),
-        static_cast<unsigned long long>(snapshot.cyclesTiled),
-        jsonEscape(snapshot.listen).c_str());
-    return buf;
+        static_cast<unsigned long long>(snapshot.cyclesTiled));
+    std::string payload = buf;
+    // Optional key: runs without provenance keep the pre-digest schema
+    // byte-for-byte, so existing pollers see nothing new.
+    if (snapshot.digestsSealed >= 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  \"digests_sealed\": %lld,\n",
+                      static_cast<long long>(snapshot.digestsSealed));
+        payload += buf;
+    }
+    payload += "  \"listen\": \"" + jsonEscape(snapshot.listen) +
+               "\"\n}\n";
+    return payload;
 }
 
 void
@@ -273,6 +281,9 @@ Recorder::writeStatus(const core::Population& pop,
                   static_cast<double>(_totalGenerations - done)
             : 0.0;
     fillSteadyCounters(snapshot);
+    if (_digestProvider)
+        snapshot.digestsSealed =
+            static_cast<std::int64_t>(_digestProvider());
     snapshot.listen = _listenAddress;
 
     const std::string payload = formatStatusJson(snapshot);

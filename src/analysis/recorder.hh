@@ -61,6 +61,15 @@ struct StatusSnapshot
     std::uint64_t cyclesSimulated = 0;
     std::uint64_t cyclesTiled = 0;
 
+    /**
+     * Population digests sealed by the provenance ledger so far; -1
+     * (key omitted) when the run records no provenance. Because the
+     * provenance observer runs after the recorder each generation,
+     * mid-run heartbeats lag one generation; finish() reports the
+     * exact final count.
+     */
+    std::int64_t digestsSealed = -1;
+
     /** host:port of the live telemetry server; empty when serverless. */
     std::string listen;
 };
@@ -140,6 +149,17 @@ class Recorder
         _statusListener = std::move(fn);
     }
 
+    /**
+     * Let heartbeats report how many population digests the provenance
+     * ledger has sealed (the "digests_sealed" status.json key). The
+     * provider is polled on the coordinator thread at status-write
+     * time; unset means the key is omitted.
+     */
+    void setDigestProvider(std::function<std::uint64_t()> fn)
+    {
+        _digestProvider = std::move(fn);
+    }
+
     /** Analytics rows sealed so far (tests). */
     const std::vector<AnalyticsRow>& rows() const { return _rows; }
 
@@ -160,6 +180,7 @@ class Recorder
     std::uint64_t _totalCacheHits = 0;
     std::string _listenAddress;
     std::function<void(const std::string&)> _statusListener;
+    std::function<std::uint64_t()> _digestProvider;
 
     // Last-generation summary repeated in the final status.json.
     bool _sawGeneration = false;

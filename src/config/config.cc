@@ -8,6 +8,7 @@
 #include "output/flight_recorder.hh"
 #include "output/run_writer.hh"
 #include "output/trace_writer.hh"
+#include "provenance/provenance.hh"
 #include "stats/stats.hh"
 #include "util/fileutil.hh"
 #include "util/logging.hh"
@@ -152,6 +153,7 @@ parseConfig(const std::string& text, const std::string& base_dir,
 {
     RunConfig cfg;
     cfg.rawText = text;
+    cfg.configBaseDir = base_dir;
     cfg.mainDoc = std::make_shared<xml::Document>(
         xml::parse(text, "main configuration"));
     const xml::Element& root = cfg.mainDoc->root();
@@ -225,6 +227,9 @@ parseConfig(const std::string& text, const std::string& base_dir,
         if (out->hasAttr("analytics"))
             cfg.recordAnalytics =
                 parseBool(out->attr("analytics"), "output analytics");
+        if (out->hasAttr("provenance"))
+            cfg.recordProvenance =
+                parseBool(out->attr("provenance"), "output provenance");
         if (out->hasAttr("listen"))
             cfg.listenAddress = out->attr("listen");
         if (out->hasAttr("waveforms")) {
@@ -349,6 +354,19 @@ runFromConfig(const RunConfig& cfg)
             });
     }
 
+    // Provenance: digest ledger during the run, manifest seal after.
+    // Attached after the recorder, so mid-run status.json heartbeats
+    // report the previous generation's digest count (finish() is exact).
+    std::unique_ptr<provenance::ProvenanceRecorder> prov;
+    if (cfg.recordProvenance && !cfg.outputDirectory.empty()) {
+        prov = std::make_unique<provenance::ProvenanceRecorder>(
+            cfg.outputDirectory, cfg.library);
+        engine.addGenerationObserver(prov->observer());
+        if (recorder)
+            recorder->setDigestProvider(
+                [p = prov.get()] { return p->digestsSealed(); });
+    }
+
     // Live telemetry: bind before the run so the first generation is
     // already scrapable; the service only observes (const views, no
     // RNG), keeping artifacts bit-identical with the server on or off.
@@ -404,6 +422,28 @@ runFromConfig(const RunConfig& cfg)
     }
     if (cfg.recordStats)
         stats::setEnabled(stats_were_enabled);
+    if (prov) {
+        // Seal last: every other artifact is final, so the manifest's
+        // checksums describe exactly what a verifier will find.
+        provenance::SealInfo info;
+        info.configText = cfg.rawText;
+        info.configBaseDir = cfg.configBaseDir;
+        info.measurementClass = cfg.measurementClass;
+        info.fitnessClass = cfg.fitnessClass;
+        info.ga = cfg.ga;
+        info.steadyStateOverride = cfg.steadyStateOverride;
+        info.waveformTopK = cfg.waveformTopK;
+        info.recordStats = cfg.recordStats;
+        info.recordAnalytics = cfg.recordAnalytics;
+        info.generationsCompleted =
+            static_cast<int>(result.history.size());
+        info.evaluations = result.evaluations;
+        info.bestFitness = result.best.fitness;
+        info.bestId = result.best.id;
+        result.manifestFile = prov->seal(
+            info, writer ? writer->artifactKinds()
+                         : std::map<std::string, std::string>{});
+    }
     return result;
 }
 

@@ -112,6 +112,26 @@ struct RunConfig
     std::optional<bool> steadyStateOverride;
 
     /**
+     * Record run provenance (<output provenance="...">, default true):
+     * a digests.csv population-digest ledger is appended during the
+     * run and a manifest.json — canonical config hash, seed, build
+     * fingerprint, artifact checksums — is sealed into the output
+     * directory when the run finishes. `gest verify` replays against
+     * them. Has no effect without an output directory. Recording is
+     * strictly observational (never touches the GA RNG) and every
+     * pre-existing artifact is byte-identical with provenance on or
+     * off.
+     */
+    bool recordProvenance = true;
+
+    /**
+     * The base directory relative file references resolved against
+     * (parseConfig's base_dir), recorded into the manifest so a replay
+     * can re-resolve them.
+     */
+    std::string configBaseDir = ".";
+
+    /**
      * host:port for the live telemetry server (<output
      * listen="127.0.0.1:0"/> or the CLI's --listen; default off). When
      * set, the run hosts the embedded HTTP endpoints (/metrics,
@@ -189,6 +209,12 @@ struct RunResult
      * resolved; empty when --listen was off).
      */
     std::string listenAddress;
+
+    /**
+     * Path of the sealed manifest.json (empty when provenance was off
+     * or no output directory was set).
+     */
+    std::string manifestFile;
 };
 
 /**

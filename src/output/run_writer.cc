@@ -46,7 +46,9 @@ RunWriter::writeIndividual(int population, const core::Individual& ind)
             body += '\n';
         }
     }
-    writeFile(_root + "/" + individualFileName(population, ind), body);
+    const std::string name = individualFileName(population, ind);
+    writeFile(_root + "/" + name, body);
+    _artifactKinds[name] = "individual";
 }
 
 void
@@ -57,9 +59,10 @@ RunWriter::writePopulation(const core::Population& pop)
             writeIndividual(pop.generation, ind);
     }
     if (_options.writePopulations) {
-        core::savePopulation(_lib, pop,
-                             _root + "/population_" +
-                                 std::to_string(pop.generation) + ".pop");
+        const std::string name =
+            "population_" + std::to_string(pop.generation) + ".pop";
+        core::savePopulation(_lib, pop, _root + "/" + name);
+        _artifactKinds[name] = "population";
     }
 }
 
@@ -83,6 +86,7 @@ RunWriter::appendHistory(const core::GenerationRecord& record,
                "selection_ms,crossover_ms,mutation_ms,evaluation_ms,"
                "io_ms\n";
         _historyStarted = true;
+        _artifactKinds["history.csv"] = "history";
     }
     out << record.generation << ',' << record.bestFitness << ','
         << record.averageFitness << ',' << record.bestId << ','
@@ -97,10 +101,14 @@ void
 RunWriter::writeRunMetadata(const std::string& config_text,
                             const std::string& template_text)
 {
-    if (!config_text.empty())
+    if (!config_text.empty()) {
         writeFile(_root + "/run_configuration.xml", config_text);
-    if (!template_text.empty())
+        _artifactKinds["run_configuration.xml"] = "config";
+    }
+    if (!template_text.empty()) {
         writeFile(_root + "/run_template.txt", template_text);
+        _artifactKinds["run_template.txt"] = "template";
+    }
 }
 
 core::Engine::GenerationCallback

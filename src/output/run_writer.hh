@@ -14,6 +14,7 @@
 #ifndef GEST_OUTPUT_RUN_WRITER_HH
 #define GEST_OUTPUT_RUN_WRITER_HH
 
+#include <map>
 #include <string>
 
 #include "core/engine.hh"
@@ -105,6 +106,17 @@ class RunWriter
     /** The run directory. */
     const std::string& root() const { return _root; }
 
+    /**
+     * Every artifact this writer emitted, relative path → kind
+     * ("individual", "population", "history", "config", "template").
+     * The provenance manifest records these kinds; artifacts written
+     * by other subsystems get their kind inferred from the file name.
+     */
+    const std::map<std::string, std::string>& artifactKinds() const
+    {
+        return _artifactKinds;
+    }
+
     /** File name an individual is stored under (naming convention). */
     std::string individualFileName(int population,
                                    const core::Individual& ind) const;
@@ -116,6 +128,7 @@ class RunWriter
     RunWriterOptions _options;
     bool _historyStarted = false;
     TraceWriter* _trace = nullptr;
+    std::map<std::string, std::string> _artifactKinds;
 };
 
 } // namespace output

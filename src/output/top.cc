@@ -174,6 +174,16 @@ loadTopSnapshot(const std::string& run_dir, TopSnapshot& out)
         out.cyclesTiled = report.cyclesTiled;
         out.simEvaluations = report.simEvaluations;
     } catch (const FatalError& err) {
+        // A run directory that exists but holds no history.csv yet is
+        // a run still evaluating its first generation, not an error:
+        // `gest top` may be pointed at the directory before (or right
+        // after) the run starts, so render a waiting frame and let the
+        // next refresh fill in.
+        if (dirExists(run_dir) &&
+            !fileExists(run_dir + "/history.csv")) {
+            out.state = "waiting for first generation";
+            return true;
+        }
         out.error = err.what();
         return false;
     }
@@ -234,6 +244,12 @@ renderTop(const TopSnapshot& snapshot)
            (snapshot.live ? " (live)\n" : " (files)\n");
     if (!snapshot.error.empty()) {
         out += "error: " + snapshot.error + "\n";
+        return out;
+    }
+    if (startsWith(snapshot.state, "waiting")) {
+        out += "state " + snapshot.state +
+               " — no history.csv yet; the dashboard fills in once "
+               "the first generation is evaluated\n";
         return out;
     }
 

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-generation population digests: the replay-verification ground
+ * truth behind `gest verify`.
+ *
+ * After each evaluated generation the provenance layer hashes a
+ * canonical serialization of the whole population — every individual's
+ * id, lineage, fitness, measurement vector and genome — and appends one
+ * row to the run's `digests.csv` ledger (`# gest-digests v1`). A replay
+ * of the run from its recorded configuration and seed must reproduce
+ * every digest bit-for-bit; the first row that differs pins the first
+ * divergent generation, and the recorded population checkpoint of that
+ * generation pins the first divergent individual.
+ *
+ * The canonical text deliberately excludes the generation *number*: a
+ * population checkpoint reloaded as the seed of a new run (§III.D)
+ * holds the same individuals under a different generation index, and
+ * its generation-0 digest must equal the checkpoint's.
+ */
+
+#ifndef GEST_PROVENANCE_DIGEST_HH
+#define GEST_PROVENANCE_DIGEST_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/population.hh"
+
+namespace gest {
+namespace provenance {
+
+/**
+ * digests.csv format version written by this build. The first line of
+ * the file is `# gest-digests v<N>`; columns are append-only across
+ * versions, like every other ledger in the run directory.
+ */
+constexpr int digestsCsvVersion = 1;
+
+/**
+ * The canonical serialization of one individual that populationDigest()
+ * hashes: the `individual` / `measurements` / `code` records of the
+ * population file format (core::serializePopulation), with doubles at
+ * precision 17 so they round-trip exactly. No generation number.
+ */
+std::string canonicalIndividualText(const isa::InstructionLibrary& lib,
+                                    const core::Individual& ind);
+
+/**
+ * SHA-256 (64 hex digits) over the canonical serialization of every
+ * individual of @p pop, in population order.
+ */
+std::string populationDigest(const isa::InstructionLibrary& lib,
+                             const core::Population& pop);
+
+/** One parsed digests.csv row. */
+struct DigestRow
+{
+    int generation = 0;
+    double bestFitness = 0.0;
+    std::string digest;
+};
+
+/**
+ * Appends one digest row per evaluated generation to
+ * `<run_dir>/digests.csv`. Attach via Engine::addGenerationObserver();
+ * the ledger only reads const views and never touches the GA RNG, so
+ * all other artifacts are bit-identical with the ledger on or off.
+ */
+class DigestLedger
+{
+  public:
+    /** @param lib must outlive the ledger. */
+    DigestLedger(std::string run_dir, const isa::InstructionLibrary& lib);
+
+    /** Digest @p pop and append its row (header on the first call). */
+    void append(const core::Population& pop,
+                const core::GenerationRecord& record);
+
+    /** An engine observer that forwards to append(). */
+    core::Engine::GenerationCallback observer();
+
+    /** Rows appended so far. */
+    std::uint64_t rowsSealed() const { return _rows; }
+
+    /** Microseconds spent serializing + hashing, run total. */
+    double digestUsTotal() const { return _digestUs; }
+
+    /** The ledger file's path. */
+    std::string path() const { return _runDir + "/digests.csv"; }
+
+  private:
+    std::string _runDir;
+    const isa::InstructionLibrary& _lib;
+    bool _started = false;
+    std::uint64_t _rows = 0;
+    double _digestUs = 0.0;
+};
+
+/**
+ * Parse `<run_dir>/digests.csv`. @return false — with @p error set —
+ * when the file is absent, has no rows, or is malformed.
+ */
+bool loadDigests(const std::string& run_dir, std::vector<DigestRow>& out,
+                 std::string* error);
+
+} // namespace provenance
+} // namespace gest
+
+#endif // GEST_PROVENANCE_DIGEST_HH

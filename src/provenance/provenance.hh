@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The per-run provenance recorder: the digest ledger plus the final
+ * manifest seal.
+ *
+ * One ProvenanceRecorder per recorded run, wired by the run driver
+ * (config::runFromConfig). During the run its observer — attached with
+ * Engine::addGenerationObserver() — appends one population digest per
+ * evaluated generation to `digests.csv`. After every other artifact is
+ * final (flight recorder sealed, analytics finished, stats dumped) the
+ * driver calls seal(), which walks the run directory, checksums every
+ * artifact and writes `manifest.json`.
+ *
+ * Recording is strictly observational: const views only, never the GA
+ * RNG, so every pre-existing artifact is byte-identical with
+ * provenance on or off.
+ */
+
+#ifndef GEST_PROVENANCE_PROVENANCE_HH
+#define GEST_PROVENANCE_PROVENANCE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/engine.hh"
+#include "core/ga_params.hh"
+#include "provenance/digest.hh"
+#include "provenance/manifest.hh"
+
+namespace gest {
+namespace provenance {
+
+/** Everything seal() records that only the run driver knows. */
+struct SealInfo
+{
+    std::string configText;     ///< the run's raw main configuration
+    std::string configBaseDir;  ///< its relative-path anchor
+    std::string measurementClass;
+    std::string fitnessClass;
+    core::GaParams ga;
+    std::optional<bool> steadyStateOverride;
+    int waveformTopK = 0;
+    bool recordStats = true;
+    bool recordAnalytics = true;
+
+    // Run outcome.
+    int generationsCompleted = 0;
+    std::uint64_t evaluations = 0;
+    double bestFitness = 0.0;
+    std::uint64_t bestId = 0;
+};
+
+class ProvenanceRecorder
+{
+  public:
+    /** @param lib must outlive the recorder. */
+    ProvenanceRecorder(std::string run_dir,
+                       const isa::InstructionLibrary& lib);
+
+    /** The digest-ledger observer for Engine::addGenerationObserver. */
+    core::Engine::GenerationCallback observer()
+    {
+        return _ledger.observer();
+    }
+
+    /** Digest rows sealed so far (the status.json provider). */
+    std::uint64_t digestsSealed() const { return _ledger.rowsSealed(); }
+
+    /**
+     * Checksum every artifact under the run directory and write
+     * manifest.json. Call once, after all other artifacts are final.
+     * @param kinds artifact-kind labels by run-relative path (the
+     *        RunWriter's registry); unlisted artifacts get a kind
+     *        inferred from their name.
+     * @return the manifest's path.
+     */
+    std::string seal(const SealInfo& info,
+                     const std::map<std::string, std::string>& kinds);
+
+  private:
+    std::string _runDir;
+    const isa::InstructionLibrary& _lib;
+    DigestLedger _ledger;
+    bool _sealed = false;
+};
+
+/**
+ * @return the artifact kind inferred from a run-relative path
+ * ("history", "population", "individual", "waveform", ...).
+ */
+std::string inferArtifactKind(const std::string& rel_path);
+
+} // namespace provenance
+} // namespace gest
+
+#endif // GEST_PROVENANCE_PROVENANCE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Replay verification behind `gest verify <run_dir>`.
+ *
+ * Verification has two phases. The checksum phase recomputes the
+ * SHA-256 of every artifact the manifest seals and names the first one
+ * that is missing or modified. The replay phase re-runs the GA from the
+ * recorded configuration and the manifest's seed — writing nothing into
+ * the run directory — and compares the per-generation population
+ * digests against the `digests.csv` ledger; the first row that differs
+ * is bisected to the first divergent individual using that generation's
+ * recorded population checkpoint. Failures come with actionable
+ * diagnostics: missing seed, configuration drift, a different sealing
+ * build, thread-count nondeterminism with non-pure measurements.
+ */
+
+#ifndef GEST_PROVENANCE_VERIFY_HH
+#define GEST_PROVENANCE_VERIFY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gest {
+namespace provenance {
+
+struct VerifyOptions
+{
+    /** Checksum phase only: skip the GA replay. */
+    bool quick = false;
+};
+
+/** Everything `gest verify` reports, in analyzable form. */
+struct VerifyResult
+{
+    bool ok = true;
+
+    /** Informational lines (manifest summary, build notes, hints). */
+    std::vector<std::string> notes;
+
+    /** Failure lines; non-empty exactly when !ok. */
+    std::vector<std::string> problems;
+
+    /** Artifacts whose recomputed checksum matched. */
+    std::size_t artifactsVerified = 0;
+
+    /** First missing/modified artifact path; empty when all match. */
+    std::string firstBadArtifact;
+
+    /** Generations whose replayed digest matched the ledger. */
+    std::size_t generationsVerified = 0;
+
+    /** First divergent generation; -1 when the replay matched. */
+    int firstDivergentGeneration = -1;
+
+    /** Id of the first divergent individual; 0 when not bisected. */
+    std::uint64_t firstDivergentIndividual = 0;
+};
+
+/** Verify @p run_dir against its manifest. Never throws FatalError
+ *  for recorded-run defects (they become problems); it can still
+ *  fatal() on environmental errors such as an unwritable temp dir. */
+VerifyResult verifyRun(const std::string& run_dir,
+                       const VerifyOptions& options = {});
+
+/** Render the result as the text `gest verify` prints. */
+std::string formatVerify(const std::string& run_dir,
+                         const VerifyResult& result);
+
+} // namespace provenance
+} // namespace gest
+
+#endif // GEST_PROVENANCE_VERIFY_HH

@@ -1,0 +1,62 @@
+#include "stats/resample.hh"
+
+#include <cmath>
+
+#include "util/random.hh"
+
+namespace gest {
+namespace stats {
+
+double
+mean(const std::vector<double>& samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+permutationPValue(const std::vector<double>& a,
+                  const std::vector<double>& b, int resamples,
+                  std::uint64_t seed)
+{
+    if (a.empty() || b.empty() || resamples <= 0)
+        return 1.0;
+    const double observed = std::fabs(mean(a) - mean(b));
+
+    std::vector<double> pooled;
+    pooled.reserve(a.size() + b.size());
+    pooled.insert(pooled.end(), a.begin(), a.end());
+    pooled.insert(pooled.end(), b.begin(), b.end());
+
+    Rng rng(seed);
+    const std::size_t n_a = a.size();
+    int at_least = 0;
+    for (int r = 0; r < resamples; ++r) {
+        // Fisher-Yates over the pool relabels the samples; the first
+        // n_a entries play group A.
+        for (std::size_t i = pooled.size() - 1; i > 0; --i) {
+            const std::size_t j = rng.pickIndex(i + 1);
+            std::swap(pooled[i], pooled[j]);
+        }
+        double sum_a = 0.0;
+        for (std::size_t i = 0; i < n_a; ++i)
+            sum_a += pooled[i];
+        double sum_b = 0.0;
+        for (std::size_t i = n_a; i < pooled.size(); ++i)
+            sum_b += pooled[i];
+        const double diff = std::fabs(
+            sum_a / static_cast<double>(n_a) -
+            sum_b / static_cast<double>(pooled.size() - n_a));
+        if (diff >= observed - 1e-300)
+            ++at_least;
+    }
+    return static_cast<double>(at_least + 1) /
+           static_cast<double>(resamples + 1);
+}
+
+} // namespace stats
+} // namespace gest

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Resampling-based significance tests for cross-run performance
+ * comparison (`gest compare`).
+ *
+ * Timing samples from two runs of the same search are small (one per
+ * generation), skewed and of unknown distribution, so the classical
+ * t-test assumptions do not hold; a permutation test makes no
+ * distributional assumption and is exact up to Monte-Carlo error. The
+ * resampling RNG is seeded deterministically so a comparison's p-values
+ * are reproducible.
+ */
+
+#ifndef GEST_STATS_RESAMPLE_HH
+#define GEST_STATS_RESAMPLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gest {
+namespace stats {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double>& samples);
+
+/**
+ * Two-sided permutation test for a difference in means between @p a
+ * and @p b: the labels of the pooled samples are shuffled @p resamples
+ * times and the p-value is the fraction of shuffles whose absolute
+ * mean difference reaches the observed one (with the +1 smoothing
+ * that keeps the estimate conservative and never exactly 0).
+ *
+ * @return the p-value in (0, 1]; 1.0 when either sample is empty or
+ * both are constant and equal.
+ */
+double permutationPValue(const std::vector<double>& a,
+                         const std::vector<double>& b,
+                         int resamples = 1000,
+                         std::uint64_t seed = 0x9e3779b9ULL);
+
+} // namespace stats
+} // namespace gest
+
+#endif // GEST_STATS_RESAMPLE_HH

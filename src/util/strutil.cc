@@ -1,6 +1,7 @@
 #include "util/strutil.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -112,6 +113,23 @@ parseInt(std::string_view s, std::string_view what)
     char* end = nullptr;
     const std::int64_t v = std::strtoll(t.c_str(), &end, 0);
     if (end == t.c_str() || *end != '\0')
+        fatal("malformed integer '", t, "' for ", what);
+    return v;
+}
+
+std::uint64_t
+parseUint64(std::string_view s, std::string_view what)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        fatal("expected an integer for ", what, ", got an empty string");
+    if (t[0] == '-')
+        fatal("expected a non-negative integer for ", what, ", got '", t,
+              "'");
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(t.c_str(), &end, 0);
+    if (end == t.c_str() || *end != '\0' || errno == ERANGE)
         fatal("malformed integer '", t, "' for ", what);
     return v;
 }

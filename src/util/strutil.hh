@@ -45,6 +45,14 @@ std::string toLower(std::string_view s);
  */
 std::int64_t parseInt(std::string_view s, std::string_view what);
 
+/**
+ * Parse an unsigned 64-bit integer (decimal, or hex with a 0x
+ * prefix). The full uint64 range is accepted — parseInt() would
+ * saturate above INT64_MAX — which matters for RNG seeds round-tripped
+ * through manifest.json. fatal() with @p what on malformed input.
+ */
+std::uint64_t parseUint64(std::string_view s, std::string_view what);
+
 /** Parse a double; fatal() with @p what on malformed input. */
 double parseDouble(std::string_view s, std::string_view what);
 

@@ -408,5 +408,108 @@ TEST_F(CliTest, ExplainOnBadRunDirectoryFails)
     EXPECT_NE(output.find("does not exist"), std::string::npos);
 }
 
+TEST_F(CliTest, VerifyPassesOnSealedRunAndCatchesTampering)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml'", output, _dir), 0)
+        << output;
+    const std::string run_dir = _dir + "/run_out";
+    ASSERT_TRUE(fileExists(run_dir + "/manifest.json"));
+    ASSERT_TRUE(fileExists(run_dir + "/digests.csv"));
+
+    ASSERT_EQ(runCli("verify '" + run_dir + "'", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("OK: run verified"), std::string::npos);
+    EXPECT_NE(output.find("reproduced bit-identically"),
+              std::string::npos);
+
+    ASSERT_EQ(runCli("verify '" + run_dir + "' --quick", output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("replay skipped"), std::string::npos);
+
+    // One flipped byte in any sealed artifact must fail verification
+    // naming that artifact.
+    std::string history = readFile(run_dir + "/history.csv");
+    history[history.size() / 2] ^= 0x01;
+    writeFile(run_dir + "/history.csv", history);
+    EXPECT_NE(runCli("verify '" + run_dir + "'", output, _dir), 0);
+    EXPECT_NE(output.find("history.csv"), std::string::npos);
+    EXPECT_NE(output.find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyOnUnsealedDirectoryFails)
+{
+    std::string output;
+    EXPECT_NE(runCli("verify '" + _dir + "'", output, _dir), 0);
+    EXPECT_NE(output.find("manifest.json"), std::string::npos);
+}
+
+TEST_F(CliTest, CompareSameSeedRunsReportsZeroDeltas)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml'", output, _dir), 0)
+        << output;
+    writeFile(_dir + "/config_b.xml",
+              replaceAll(readFile(_dir + "/config.xml"), "run_out",
+                         "run_out_b"));
+    ASSERT_EQ(runCli("run '" + _dir + "/config_b.xml'", output, _dir),
+              0)
+        << output;
+
+    ASSERT_EQ(runCli("compare '" + _dir + "/run_out' '" + _dir +
+                         "/run_out_b'",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("significant deltas: 0"), std::string::npos);
+    EXPECT_NE(output.find("deterministic results identical"),
+              std::string::npos);
+
+    ASSERT_EQ(runCli("compare '" + _dir + "/run_out' '" + _dir +
+                         "/run_out_b' --json",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("\"significant_deltas\": 0"),
+              std::string::npos);
+    EXPECT_NE(output.find("\"gest_compare_version\": 1"),
+              std::string::npos);
+}
+
+TEST_F(CliTest, ProvenanceOffSuppressesManifestAndDigests)
+{
+    writeFile(_dir + "/noprov.xml",
+              replaceAll(readFile(_dir + "/config.xml"),
+                         "<output directory=\"run_out\"/>",
+                         "<output directory=\"run_noprov\" "
+                         "provenance=\"false\"/>"));
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/noprov.xml'", output, _dir), 0)
+        << output;
+    EXPECT_FALSE(fileExists(_dir + "/run_noprov/manifest.json"));
+    EXPECT_FALSE(fileExists(_dir + "/run_noprov/digests.csv"));
+    EXPECT_TRUE(fileExists(_dir + "/run_noprov/history.csv"));
+}
+
+TEST_F(CliTest, TopOnRunDirWithoutHistoryShowsWaitingState)
+{
+    // A run directory that exists but has not evaluated its first
+    // generation yet (no history.csv) is a normal condition for
+    // `gest top`, not an error.
+    const std::string run_dir = _dir + "/empty_run";
+    ensureDir(run_dir);
+    std::string output;
+    EXPECT_EQ(runCli("top '" + run_dir + "' --once", output, _dir), 0)
+        << output;
+    EXPECT_NE(output.find("waiting for first generation"),
+              std::string::npos);
+
+    // A directory that does not exist at all is still an error.
+    EXPECT_NE(runCli("top '" + _dir + "/nonexistent' --once", output,
+                     _dir),
+              0);
+}
+
 } // namespace
 } // namespace gest

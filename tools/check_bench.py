@@ -18,8 +18,16 @@ CI machines are too noisy for that.
 
 Usage:
   check_bench.py <BENCH_engine.json>      validate an existing report
+  check_bench.py <new.json> --previous <old.json>
+                                          validate, then print an
+                                          informational throughput diff
+                                          against a previous report
   check_bench.py --drive <bench-binary>   run the smoke in a temp dir,
                                           then validate its report
+
+The --previous diff never fails the check: it exists so a CI log (or a
+human) can eyeball run-over-run drift against the committed baseline.
+A missing or unreadable previous report is reported and skipped.
 
 Exit status 0 when the report is valid; 1 with a message otherwise.
 """
@@ -137,6 +145,43 @@ def validate(path):
         f"{r['speedup_steady']:.2f}x" for r in platforms)
     print(f"check_bench: OK: {path}: {len(platforms)} platforms "
           f"(random/steady speedups: {summary})")
+    return platforms
+
+
+def diff_previous(platforms, previous_path):
+    """Print an informational throughput diff; never fails the check."""
+    try:
+        with open(previous_path, encoding="utf-8") as handle:
+            previous = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench: no usable previous report "
+              f"({previous_path}: {err}); skipping the diff")
+        return
+    old_by_name = {r.get("platform"): r
+                   for r in previous.get("platforms", [])
+                   if isinstance(r, dict)}
+    print(f"check_bench: throughput vs {previous_path} "
+          "(informational, never gated):")
+    for record in platforms:
+        name = record["platform"]
+        old = old_by_name.get(name)
+        if old is None:
+            print(f"  {name}: new platform (no previous record)")
+            continue
+        for key in ("evals_per_sec_fast", "evals_per_sec_full",
+                    "evals_per_sec_fast_steady",
+                    "evals_per_sec_full_steady"):
+            new_v = record[key]
+            old_v = old.get(key)
+            if not isinstance(old_v, (int, float)) or old_v <= 0:
+                continue
+            rel = 100.0 * (new_v - old_v) / old_v
+            print(f"  {name} {key}: {old_v:.0f} -> {new_v:.0f} "
+                  f"({rel:+.1f}%)")
+    dropped = sorted(set(old_by_name) -
+                     {r["platform"] for r in platforms})
+    for name in dropped:
+        print(f"  {name}: present previously, missing now")
 
 
 def drive(bench_binary):
@@ -157,6 +202,10 @@ def drive(bench_binary):
 def main(argv):
     if len(argv) == 3 and argv[1] == "--drive":
         drive(argv[2])
+        return 0
+    if len(argv) == 4 and argv[2] == "--previous":
+        platforms = validate(argv[1])
+        diff_previous(platforms, argv[3])
         return 0
     if len(argv) == 2 and not argv[1].startswith("-"):
         validate(argv[1])

@@ -9,6 +9,8 @@
  *                              signal capture and seal waveforms
  *   gest report <run_dir>      fitness/phase/cache summary of a run
  *   gest explain <run_dir>     champion ancestry + search dynamics
+ *   gest verify <run_dir>      replay a sealed run against its manifest
+ *   gest compare <a> <b> [...] cross-run result + performance deltas
  *   gest stats <run_dir>       per-generation statistics of a saved run
  *   gest fittest <run_dir>     print the fittest individual's source
  *   gest platforms             list the bundled platform presets
@@ -43,6 +45,8 @@
 #include "output/stats.hh"
 #include "output/top.hh"
 #include "platform/platform.hh"
+#include "provenance/compare.hh"
+#include "provenance/verify.hh"
 #include "signal/analysis.hh"
 #include "signal/signal_probe.hh"
 #include "signal/waveform_io.hh"
@@ -71,6 +75,11 @@ usage()
         "  gest fittest <run_dir>       print the fittest individual\n"
         "  gest top <url|run_dir>       live dashboard of a run "
         "(telemetry server or files)\n"
+        "  gest verify <run_dir>        replay a sealed run against "
+        "its manifest\n"
+        "  gest compare <baseline> <candidate> [...]\n"
+        "                               cross-run result + performance "
+        "deltas\n"
         "  gest platforms               list platform presets\n"
         "  gest classes                 list measurement/fitness "
         "classes\n"
@@ -86,6 +95,9 @@ usage()
         "options for top: --interval SECONDS (refresh period, default "
         "1) | --once (single frame)\n"
         "options for report: --json (machine-readable output)\n"
+        "options for verify: --quick (manifest + checksums only, no "
+        "replay)\n"
+        "options for compare: --json (machine-readable output)\n"
         "options for probe: --out <dir> (artifact directory; default "
         "<target>/probe)\n"
         "options for stats/fittest: --library arm|x86|cache-stress\n");
@@ -387,6 +399,33 @@ cmdTop(const std::string& target, double interval_s, bool once)
 }
 
 int
+cmdVerify(const std::string& run_dir, bool quick)
+{
+    provenance::VerifyOptions options;
+    options.quick = quick;
+    const provenance::VerifyResult result =
+        provenance::verifyRun(run_dir, options);
+    std::printf("%s", provenance::formatVerify(run_dir, result).c_str());
+    return result.ok ? 0 : 1;
+}
+
+int
+cmdCompare(const std::vector<std::string>& dirs, bool json)
+{
+    std::vector<provenance::RunComparison> comparisons;
+    for (std::size_t i = 1; i < dirs.size(); ++i)
+        comparisons.push_back(provenance::compareRuns(dirs[0], dirs[i]));
+    if (json) {
+        std::printf("%s",
+                    provenance::formatComparisonsJson(comparisons).c_str());
+    } else {
+        for (const provenance::RunComparison& cmp : comparisons)
+            std::printf("%s", provenance::formatComparison(cmp).c_str());
+    }
+    return 0;
+}
+
+int
 cmdPlatforms()
 {
     for (const std::string& name : platform::Platform::presetNames()) {
@@ -440,6 +479,7 @@ try {
     bool want_trace = false;
     bool want_json = false;
     bool want_once = false;
+    bool want_quick = false;
     for (int i = 2; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--quiet") == 0) {
@@ -478,6 +518,8 @@ try {
             want_once = true;
         } else if (std::strcmp(arg, "--json") == 0) {
             want_json = true;
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            want_quick = true;
         } else if (startsWith(arg, "--")) {
             fatal("unknown option '", arg, "'");
         } else {
@@ -501,6 +543,10 @@ try {
         return cmdReport(positional[0], want_json);
     if (command == "explain" && positional.size() == 1)
         return cmdExplain(positional[0]);
+    if (command == "verify" && positional.size() == 1)
+        return cmdVerify(positional[0], want_quick);
+    if (command == "compare" && positional.size() >= 2)
+        return cmdCompare(positional, want_json);
     if (command == "stats" && positional.size() == 1)
         return cmdStats(positional[0], library_override);
     if (command == "fittest" && positional.size() == 1)
