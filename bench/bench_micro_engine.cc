@@ -16,6 +16,7 @@
 #include <string>
 
 #include "arch/simulator.hh"
+#include "attribution/coverage.hh"
 #include "core/operators.hh"
 #include "isa/standard_libs.hh"
 #include "measure/sim_measurements.hh"
@@ -375,6 +376,32 @@ runSteadySmoke(const std::string& path)
             };
         const double fast_eps = rate(bodies, fast_scratch);
         const double full_eps = rate(bodies, full_scratch);
+
+        // Coverage-on datapoint: the same fast-path evaluation with
+        // the coverage ledger observing every body, i.e. the per-
+        // evaluation cost a run with <output coverage="true"/> pays.
+        attribution::CoverageLedger ledger(lib);
+        double fast_cov_eps;
+        {
+            const auto t0 = clock::now();
+            int evals = 0;
+            double seconds = 0.0;
+            do {
+                for (const auto& code : bodies) {
+                    plat->evaluateInto(code, lib, want_voltage,
+                                       horizon, nullptr, fast_scratch,
+                                       fast);
+                    ledger.observe(code);
+                    ++evals;
+                }
+                seconds = std::chrono::duration<double>(clock::now() -
+                                                        t0)
+                              .count();
+            } while (seconds < minSeconds);
+            fast_cov_eps = evals / seconds;
+        }
+        const double coverage_overhead =
+            fast_cov_eps > 0.0 ? fast_eps / fast_cov_eps : 0.0;
         double steady_fast_eps = 0.0, steady_full_eps = 0.0;
         if (!steady.empty()) {
             steady_fast_eps = rate(steady, fast_scratch);
@@ -384,7 +411,7 @@ runSteadySmoke(const std::string& path)
             steady_full_eps > 0.0 ? steady_fast_eps / steady_full_eps
                                   : 0.0;
 
-        char buf[768];
+        char buf[1024];
         std::snprintf(
             buf, sizeof(buf),
             "%s\n    {\"platform\": \"%s\", \"min_cycles\": %llu, "
@@ -395,13 +422,18 @@ runSteadySmoke(const std::string& path)
             "\"steady_bodies\": %zu, "
             "\"evals_per_sec_fast_steady\": %.1f, "
             "\"evals_per_sec_full_steady\": %.1f, "
-            "\"speedup_steady\": %.2f}",
+            "\"speedup_steady\": %.2f, "
+            "\"coverage_cells\": %llu, "
+            "\"evals_per_sec_fast_cov\": %.1f, "
+            "\"coverage_overhead\": %.3f}",
             first ? "" : ",", name.c_str(),
             static_cast<unsigned long long>(horizon), numBodies,
             static_cast<unsigned long long>(hits),
             identical ? "true" : "false", fast_eps, full_eps,
             full_eps > 0.0 ? fast_eps / full_eps : 0.0, steady.size(),
-            steady_fast_eps, steady_full_eps, steady_speedup);
+            steady_fast_eps, steady_full_eps, steady_speedup,
+            static_cast<unsigned long long>(ledger.cellsTotal()),
+            fast_cov_eps, coverage_overhead);
         os << buf;
         first = false;
         std::fprintf(stderr,

@@ -1,6 +1,9 @@
 #include "config/config.hh"
 
 #include "analysis/recorder.hh"
+#include "attribution/attribution.hh"
+#include "attribution/attribution_io.hh"
+#include "attribution/coverage.hh"
 #include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
 #include "measure/sim_measurements.hh"
@@ -230,6 +233,12 @@ parseConfig(const std::string& text, const std::string& base_dir,
         if (out->hasAttr("provenance"))
             cfg.recordProvenance =
                 parseBool(out->attr("provenance"), "output provenance");
+        if (out->hasAttr("coverage"))
+            cfg.recordCoverage =
+                parseBool(out->attr("coverage"), "output coverage");
+        if (out->hasAttr("attribution"))
+            cfg.recordAttribution = parseBool(
+                out->attr("attribution"), "output attribution");
         if (out->hasAttr("listen"))
             cfg.listenAddress = out->attr("listen");
         if (out->hasAttr("waveforms")) {
@@ -354,6 +363,19 @@ runFromConfig(const RunConfig& cfg)
             });
     }
 
+    // Coverage ledger: installed before the provenance and telemetry
+    // observers so its per-generation tick is already sealed when the
+    // telemetry service composes that generation's row. Useful even
+    // without an output directory (live /coverage only).
+    std::unique_ptr<attribution::CoverageLedger> coverage;
+    if (cfg.recordCoverage) {
+        coverage =
+            std::make_unique<attribution::CoverageLedger>(cfg.library);
+        if (!cfg.outputDirectory.empty())
+            coverage->setCsvPath(cfg.outputDirectory + "/coverage.csv");
+        engine.addGenerationObserver(coverage->observer());
+    }
+
     // Provenance: digest ledger during the run, manifest seal after.
     // Attached after the recorder, so mid-run status.json heartbeats
     // report the previous generation's digest count (finish() is exact).
@@ -385,6 +407,22 @@ runFromConfig(const RunConfig& cfg)
                     service->setStatusJson(payload);
                 });
         }
+        if (coverage) {
+            net::TelemetryService* service = &telemetry->service();
+            coverage->setGenerationListener(
+                [service](
+                    const attribution::CoverageLedger::Snapshot& snap) {
+                    net::TelemetryService::CoverageTick tick;
+                    tick.generation = snap.generation;
+                    tick.cellsSeen = snap.cellsSeen;
+                    tick.cellsTotal = snap.cellsTotal;
+                    tick.newCells = snap.newCells;
+                    tick.saturationPct = snap.saturationPct;
+                    tick.noveltyRate = snap.noveltyRate;
+                    service->noteCoverage(
+                        tick, attribution::formatCoverageJson(snap));
+                });
+        }
     }
 
     engine.run();
@@ -399,6 +437,71 @@ runFromConfig(const RunConfig& cfg)
 
     if (flight)
         result.waveformFiles = flight->seal();
+
+    // Attribution: ablate the flight recorder's retained champions (or
+    // the best-ever individual without one) on a private measurement
+    // clone and seal attribution/ artifacts. Before the stats dump so
+    // the attribution.* counters land in stats.txt, before the
+    // provenance seal so the manifest covers the artifacts.
+    if (cfg.recordAttribution && !cfg.outputDirectory.empty()) {
+        std::unique_ptr<measure::Measurement> private_meas =
+            measurement->clone();
+        measure::Measurement* attr_meas =
+            private_meas ? private_meas.get() : measurement.get();
+
+        struct AttributionTarget
+        {
+            std::uint64_t id;
+            int generation;
+            const std::vector<isa::InstructionInstance>* code;
+        };
+        std::vector<AttributionTarget> targets;
+        if (flight) {
+            for (const output::FlightRecorder::Entry& entry :
+                 flight->entries())
+                targets.push_back(
+                    {entry.id, entry.generation, &entry.code});
+        } else if (!result.best.code.empty()) {
+            targets.push_back({result.best.id, -1, &result.best.code});
+        }
+        for (const AttributionTarget& target : targets) {
+            core::Individual ind;
+            ind.id = target.id;
+            ind.code = *target.code;
+            attribution::AttributionResult attributed =
+                attribution::computeAttribution(cfg.library, *attr_meas,
+                                                *fit, ind);
+            attributed.generation = target.generation;
+            const std::string basename =
+                "individual_" + std::to_string(target.id);
+            const attribution::AttributionArtifacts artifacts =
+                attribution::writeAttributionArtifacts(
+                    cfg.outputDirectory + "/attribution", basename,
+                    attributed);
+            result.attributionFiles.push_back(artifacts.csvPath);
+            result.attributionFiles.push_back(artifacts.jsonPath);
+            if (writer) {
+                writer->noteArtifact("attribution/" + basename + ".csv",
+                                     "attribution");
+                writer->noteArtifact(
+                    "attribution/" + basename + ".json", "attribution");
+            }
+        }
+        if (!targets.empty())
+            debug("attribution sealed for ", targets.size(),
+                  " individual(s) in ", cfg.outputDirectory,
+                  "/attribution");
+    } else if (cfg.recordAttribution) {
+        warn("attribution requested but no output directory is set; "
+             "skipping");
+    }
+
+    if (coverage && fileExists(coverage->csvPath())) {
+        result.coverageFile = coverage->csvPath();
+        if (writer)
+            writer->noteArtifact("coverage.csv", "coverage");
+    }
+
     if (recorder)
         recorder->finish();
     if (trace) {
@@ -435,6 +538,8 @@ runFromConfig(const RunConfig& cfg)
         info.waveformTopK = cfg.waveformTopK;
         info.recordStats = cfg.recordStats;
         info.recordAnalytics = cfg.recordAnalytics;
+        info.recordCoverage = cfg.recordCoverage;
+        info.recordAttribution = cfg.recordAttribution;
         info.generationsCompleted =
             static_cast<int>(result.history.size());
         info.evaluations = result.evaluations;

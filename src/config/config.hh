@@ -112,6 +112,27 @@ struct RunConfig
     std::optional<bool> steadyStateOverride;
 
     /**
+     * Track search-space coverage (<output coverage="true"/>, default
+     * false): an attribution::CoverageLedger observes every evaluated
+     * generation and seals a per-generation coverage.csv in the output
+     * directory (plus the /coverage endpoint when --listen is on).
+     * Observation is read-only — never the GA RNG — so all other
+     * artifacts are byte-identical with the ledger on or off.
+     */
+    bool recordCoverage = false;
+
+    /**
+     * Attribute champion fitness at seal time (<output
+     * attribution="true"/>, default false): after the run, the flight
+     * recorder's retained champions (or the best-ever individual when
+     * no flight recorder ran) are ablated gene by gene on a private
+     * measurement clone and `attribution/individual_<id>.{csv,json}`
+     * artifacts are sealed into the output directory. Post-run only:
+     * the GA itself is untouched.
+     */
+    bool recordAttribution = false;
+
+    /**
      * Record run provenance (<output provenance="...">, default true):
      * a digests.csv population-digest ledger is appended during the
      * run and a manifest.json — canonical config hash, seed, build
@@ -215,6 +236,18 @@ struct RunResult
      * or no output directory was set).
      */
     std::string manifestFile;
+
+    /**
+     * Path of the sealed coverage.csv (empty when coverage tracking
+     * was off or no output directory was set).
+     */
+    std::string coverageFile;
+
+    /**
+     * Attribution artifacts sealed after the run (CSV and JSON twins
+     * interleaved; empty when attribution was off).
+     */
+    std::vector<std::string> attributionFiles;
 };
 
 /**

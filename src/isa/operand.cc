@@ -85,5 +85,55 @@ OperandDef::parsedRegister(std::size_t index, RegRef& out) const
     return true;
 }
 
+namespace {
+
+/** Immediate pools fold into at most this many coverage bins. */
+constexpr std::size_t maxImmediateBins = 8;
+
+} // namespace
+
+std::size_t
+operandBinCount(const OperandDef& def)
+{
+    const std::size_t n = def.valueCount();
+    if (def.kind() == OperandKind::Register)
+        return n;
+    return n < maxImmediateBins ? n : maxImmediateBins;
+}
+
+std::size_t
+operandBin(const OperandDef& def, std::uint32_t choice)
+{
+    const std::size_t n = def.valueCount();
+    if (n == 0)
+        return 0;
+    std::size_t c = choice;
+    if (c >= n)
+        c = n - 1;
+    if (def.kind() == OperandKind::Register)
+        return c;
+    // Equal-width partition of the value indices: bin = c * bins / n is
+    // monotone, onto, and inverse-consistent with operandBinLabel.
+    return c * operandBinCount(def) / n;
+}
+
+std::string
+operandBinLabel(const OperandDef& def, std::size_t bin)
+{
+    if (def.kind() == OperandKind::Register)
+        return def.registerName(bin);
+    const std::size_t n = def.valueCount();
+    const std::size_t bins = operandBinCount(def);
+    if (bins == 0 || bin >= bins)
+        panic("operand bin ", bin, " out of range for '", def.id(), "'");
+    // First and last value index mapped to this bin by operandBin().
+    const std::size_t lo = (bin * n + bins - 1) / bins;
+    const std::size_t hi = ((bin + 1) * n + bins - 1) / bins - 1;
+    if (lo == hi)
+        return std::to_string(def.immediateValue(lo));
+    return "[" + std::to_string(def.immediateValue(lo)) + ".." +
+           std::to_string(def.immediateValue(hi)) + "]";
+}
+
 } // namespace isa
 } // namespace gest

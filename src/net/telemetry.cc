@@ -150,8 +150,14 @@ TelemetryService::TelemetryService(const isa::InstructionLibrary& lib,
     analysis::StatusSnapshot empty;
     empty.generation = -1;
     empty.totalGenerations = total_generations;
+    // -1 marks "analytics off — not computed" so dashboards render
+    // n/a instead of a misleading 0; the analytics recorder overwrites
+    // the whole payload with real values via setStatusJson.
+    empty.geneEntropyBits = -1.0;
+    empty.pairwiseDiversity = -1.0;
     _statusJson = analysis::formatStatusJson(empty);
     _championJson = "{\n  \"state\": \"no champion yet\"\n}\n";
+    _coverageJson = "{\n  \"state\": \"coverage not recorded\"\n}\n";
 }
 
 void
@@ -162,18 +168,37 @@ TelemetryService::onGenerationEvaluated(const core::Population& pop,
     _totalCacheHits += rec.cacheHits;
 
     // History row: same quantities as a history.csv line, as JSON.
-    char row[512];
+    char buf[512];
     std::snprintf(
-        row, sizeof(row),
+        buf, sizeof(buf),
         "{\"generation\": %d, \"best_fitness\": %.17g, "
         "\"average_fitness\": %.17g, \"best_id\": %llu, "
         "\"diversity\": %.6f, \"cache_hits\": %llu, "
-        "\"cache_misses\": %llu, \"evaluation_ms\": %.3f}",
+        "\"cache_misses\": %llu, \"evaluation_ms\": %.3f",
         rec.generation, rec.bestFitness, rec.averageFitness,
         static_cast<unsigned long long>(rec.bestId), rec.diversity,
         static_cast<unsigned long long>(rec.cacheHits),
         static_cast<unsigned long long>(rec.cacheMisses),
         rec.evaluationMs);
+    std::string row = buf;
+    // The coverage ledger's observer runs before this one, so a tick
+    // for the same generation extends the row; without the ledger the
+    // schema is unchanged.
+    if (_coverage.generation == rec.generation) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ", \"coverage_cells_seen\": %llu, "
+            "\"coverage_cells_total\": %llu, "
+            "\"coverage_cells_new\": %llu, "
+            "\"coverage_saturation_pct\": %.6f, "
+            "\"coverage_novelty_rate\": %.6f",
+            static_cast<unsigned long long>(_coverage.cellsSeen),
+            static_cast<unsigned long long>(_coverage.cellsTotal),
+            static_cast<unsigned long long>(_coverage.newCells),
+            _coverage.saturationPct, _coverage.noveltyRate);
+        row += buf;
+    }
+    row += "}";
 
     // SSE frame: replayable from index 0, id = generation.
     std::string frame = "event: generation\nid: ";
@@ -254,8 +279,29 @@ TelemetryService::composeStatus(const core::GenerationRecord& rec) const
             ? elapsed_s / static_cast<double>(done) *
                   static_cast<double>(_totalGenerations - done)
             : 0.0;
+    // This path only runs when no analytics recorder owns the status:
+    // entropy/diversity are not computed, and -1 (not 0) tells
+    // dashboards to render n/a.
+    snapshot.geneEntropyBits = -1.0;
+    snapshot.pairwiseDiversity = -1.0;
     analysis::fillSteadyCounters(snapshot);
     return analysis::formatStatusJson(snapshot);
+}
+
+void
+TelemetryService::noteCoverage(const CoverageTick& tick,
+                               std::string coverage_json)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _coverage = tick;
+    _coverageJson = std::move(coverage_json);
+}
+
+std::string
+TelemetryService::coverageJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _coverageJson;
 }
 
 void
@@ -349,6 +395,12 @@ TelemetryServer::TelemetryServer(std::string listen_address,
         res.body = _service.championJson();
         return res;
     });
+    _http.route("/coverage", [this](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "application/json";
+        res.body = _service.coverageJson();
+        return res;
+    });
     _http.route("/healthz", [this](const HttpRequest&) {
         HttpResponse res;
         res.contentType = "application/json";
@@ -365,6 +417,7 @@ TelemetryServer::TelemetryServer(std::string listen_address,
                    "  /status    status.json heartbeat\n"
                    "  /history   per-generation history (JSON)\n"
                    "  /champion  current best individual (JSON)\n"
+                   "  /coverage  search-space coverage ledger (JSON)\n"
                    "  /events    SSE, one event per generation\n"
                    "  /healthz   liveness probe\n";
         return res;

@@ -127,6 +127,32 @@ class TelemetryService
      */
     void setStatusJson(std::string payload);
 
+    /**
+     * One generation's coverage-ledger state, mirrored into the
+     * /coverage payload and — when the generation matches — appended
+     * to that generation's history row and SSE event.
+     */
+    struct CoverageTick
+    {
+        int generation = -1;
+        std::uint64_t cellsSeen = 0;
+        std::uint64_t cellsTotal = 0;
+        std::uint64_t newCells = 0;
+        double saturationPct = 0.0;
+        double noveltyRate = 0.0;
+    };
+
+    /**
+     * Ingest one coverage-ledger generation (@p coverage_json becomes
+     * the /coverage payload). Coordinator thread, before the same
+     * generation's onGenerationEvaluated — the run driver installs the
+     * ledger's observer ahead of this service's.
+     */
+    void noteCoverage(const CoverageTick& tick,
+                      std::string coverage_json);
+
+    std::string coverageJson() const;
+
     /** Mark the run finished so /events streams can end gracefully. */
     void noteRunCompleted();
 
@@ -159,7 +185,11 @@ class TelemetryService
     mutable std::mutex _mutex;
     std::string _statusJson;
     std::string _championJson;
+    std::string _coverageJson;
     std::vector<std::string> _historyRows;
+    // Coordinator-thread only (written by noteCoverage, read by
+    // onGenerationEvaluated on the same thread); no lock needed.
+    CoverageTick _coverage;
     bool _externalStatus = false;
     double _bestFitness = 0.0;
     bool _haveChampion = false;
@@ -168,8 +198,9 @@ class TelemetryService
 };
 
 /**
- * Glue: one TelemetryService hosted by one HttpServer with the five
- * live endpoints (plus /healthz and a tiny index at /) registered.
+ * Glue: one TelemetryService hosted by one HttpServer with the live
+ * endpoints (/metrics, /status, /history, /champion, /coverage,
+ * /events, plus /healthz and a tiny index at /) registered.
  * Construct, start(), attach observer() to the engine, run, stop().
  */
 class TelemetryServer

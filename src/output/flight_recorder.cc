@@ -57,6 +57,10 @@ FlightRecorder::onGenerationEvaluated(const core::Population& pop,
         entry.id = ind.id;
         entry.generation = record.generation;
         entry.fitness = ind.fitness;
+        // Retained for seal-time attribution (<output
+        // attribution="true"/>): champions may no longer be in the
+        // final population when the run ends.
+        entry.code = ind.code;
         entry.measurements =
             _measurement->measureWithProbe(ind.code, &entry.probe)
                 .values;

@@ -45,6 +45,7 @@ class FlightRecorder
         std::uint64_t id = 0;
         int generation = 0; ///< generation the capture was taken in
         double fitness = 0.0;
+        std::vector<isa::InstructionInstance> code;
         std::vector<double> measurements;
         signal::SignalProbe probe;
     };

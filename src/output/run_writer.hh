@@ -117,6 +117,19 @@ class RunWriter
         return _artifactKinds;
     }
 
+    /**
+     * Register an artifact another subsystem wrote under the run
+     * directory (run-relative @p rel_path) with an explicit @p kind,
+     * so the provenance manifest labels it without relying on
+     * file-name inference (e.g. "coverage.csv" → "coverage",
+     * "attribution/..." → "attribution").
+     */
+    void noteArtifact(const std::string& rel_path,
+                      const std::string& kind)
+    {
+        _artifactKinds[rel_path] = kind;
+    }
+
     /** File name an individual is stored under (naming convention). */
     std::string individualFileName(int population,
                                    const core::Individual& ind) const;

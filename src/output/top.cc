@@ -41,6 +41,76 @@ applyStatus(const json::Value& status, TopSnapshot& out)
         status.numberOr("cycles_simulated", 0.0));
     out.cyclesTiled = static_cast<std::uint64_t>(
         status.numberOr("cycles_tiled", 0.0));
+    // Negative sentinels survive analytics-off status.json (the
+    // telemetry fallback composer writes -1) and missing keys alike.
+    out.geneEntropyBits = status.numberOr("gene_entropy_bits", -1.0);
+    out.pairwiseDiversity =
+        status.numberOr("pairwise_diversity", -1.0);
+}
+
+/** Fill the coverage fields of @p out from parsed /coverage JSON. */
+void
+applyCoverage(const json::Value& coverage, TopSnapshot& out)
+{
+    const std::uint64_t total = static_cast<std::uint64_t>(
+        coverage.numberOr("cells_total", 0.0));
+    if (total == 0)
+        return;  // "coverage not recorded" placeholder
+    out.hasCoverage = true;
+    out.coverageCellsTotal = total;
+    out.coverageCellsSeen = static_cast<std::uint64_t>(
+        coverage.numberOr("cells_seen", 0.0));
+    out.coverageNewCells = static_cast<std::uint64_t>(
+        coverage.numberOr("cells_new", 0.0));
+    out.coverageSaturationPct =
+        coverage.numberOr("saturation_pct", 0.0);
+    out.coverageNoveltyRate = coverage.numberOr("novelty_rate", 0.0);
+}
+
+/**
+ * Fill the coverage fields of @p out from @p run_dir's coverage.csv
+ * (last data row), when the run recorded one.
+ */
+void
+loadCoverageCsv(const std::string& run_dir, TopSnapshot& out)
+{
+    std::string text;
+    if (!tryReadFile(run_dir + "/coverage.csv", text))
+        return;
+
+    // Map the header row's columns, then keep the last data row.
+    std::vector<std::string> header;
+    std::vector<std::string> last;
+    for (const std::string& line : split(text, '\n')) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (header.empty())
+            header = split(line, ',');
+        else
+            last = split(line, ',');
+    }
+    if (header.empty() || last.size() != header.size())
+        return;
+    auto field = [&](const char* name) -> std::string {
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            if (header[i] == name)
+                return last[i];
+        }
+        return "";
+    };
+    const std::string total = field("cells_total");
+    if (total.empty())
+        return;
+    out.hasCoverage = true;
+    out.coverageCellsTotal = std::strtoull(total.c_str(), nullptr, 10);
+    out.coverageCellsSeen =
+        std::strtoull(field("cells_seen").c_str(), nullptr, 10);
+    out.coverageNewCells =
+        std::strtoull(field("cells_new").c_str(), nullptr, 10);
+    out.coverageSaturationPct =
+        std::strtod(field("saturation_pct").c_str(), nullptr);
+    out.coverageNoveltyRate =
+        std::strtod(field("novelty_rate").c_str(), nullptr);
 }
 
 /** Value of the first "<metric> <number>" line, or @p fallback. */
@@ -139,6 +209,14 @@ fetchTopSnapshot(const std::string& url, TopSnapshot& out)
         out.workerBusyFrac =
             workerBusyFromMetrics(m, out.elapsedSeconds);
     }
+
+    const net::HttpResult coverage_res =
+        net::httpGet(base + "/coverage");
+    if (coverage_res.ok && coverage_res.status == 200) {
+        json::Value coverage;
+        if (json::parse(coverage_res.body, coverage, nullptr))
+            applyCoverage(coverage, out);
+    }
     return true;
 }
 
@@ -196,6 +274,7 @@ loadTopSnapshot(const std::string& run_dir, TopSnapshot& out)
     } else {
         out.state = "unknown (no status.json; analytics off?)";
     }
+    loadCoverageCsv(run_dir, out);
     return true;
 }
 
@@ -264,6 +343,20 @@ renderTop(const TopSnapshot& snapshot)
                   snapshot.bestFitness, snapshot.averageFitness,
                   snapshot.diversity);
     out += line;
+    // Analytics-derived measures: "n/a" — not a fake 0 — when the run
+    // records no analytics (negative sentinel).
+    if (snapshot.geneEntropyBits >= 0.0)
+        std::snprintf(line, sizeof(line), "entropy %.2f bits   ",
+                      snapshot.geneEntropyBits);
+    else
+        std::snprintf(line, sizeof(line), "entropy n/a   ");
+    out += line;
+    if (snapshot.pairwiseDiversity >= 0.0)
+        std::snprintf(line, sizeof(line), "pairwise diversity %.3f\n",
+                      snapshot.pairwiseDiversity);
+    else
+        std::snprintf(line, sizeof(line), "pairwise diversity n/a\n");
+    out += line;
     if (!snapshot.bestTrajectory.empty()) {
         out += "fitness " + sparkline(snapshot.bestTrajectory, 60) +
                "\n";
@@ -289,6 +382,20 @@ renderTop(const TopSnapshot& snapshot)
         out += line;
     }
     out += "\n";
+
+    if (snapshot.hasCoverage) {
+        std::snprintf(
+            line, sizeof(line),
+            "coverage %llu/%llu cells (%.1f%%)   new this gen %llu   "
+            "novelty %.2f\n",
+            static_cast<unsigned long long>(snapshot.coverageCellsSeen),
+            static_cast<unsigned long long>(
+                snapshot.coverageCellsTotal),
+            snapshot.coverageSaturationPct,
+            static_cast<unsigned long long>(snapshot.coverageNewCells),
+            snapshot.coverageNoveltyRate);
+        out += line;
+    }
 
     const double phase_total = snapshot.selectionMs +
                                snapshot.crossoverMs +

@@ -35,6 +35,20 @@ struct TopSnapshot
     double averageFitness = 0.0;
     double diversity = 0.0;
 
+    // Population analytics (negative: analytics off → rendered "n/a",
+    // never a misleading 0).
+    double geneEntropyBits = -1.0;
+    double pairwiseDiversity = -1.0;
+
+    // Search-space coverage (valid only when hasCoverage; filled from
+    // /coverage live or coverage.csv's last row from files).
+    bool hasCoverage = false;
+    std::uint64_t coverageCellsSeen = 0;
+    std::uint64_t coverageCellsTotal = 0;
+    std::uint64_t coverageNewCells = 0;
+    double coverageSaturationPct = 0.0;
+    double coverageNoveltyRate = 0.0;
+
     std::uint64_t evaluations = 0;
     double cacheHitRate = 0.0;  ///< [0, 1]
     double evalsPerSec = 0.0;

@@ -190,8 +190,15 @@ formatManifest(const Manifest& m)
     os << "    \"record_stats\": " << (m.recordStats ? "true" : "false")
        << ",\n";
     os << "    \"record_analytics\": "
-       << (m.recordAnalytics ? "true" : "false") << "\n";
-    os << "  },\n";
+       << (m.recordAnalytics ? "true" : "false");
+    // Only emitted when on: manifests of runs without coverage or
+    // attribution stay byte-identical to pre-feature builds (the
+    // digests_sealed optional-key convention).
+    if (m.recordCoverage)
+        os << ",\n    \"record_coverage\": true";
+    if (m.recordAttribution)
+        os << ",\n    \"record_attribution\": true";
+    os << "\n  },\n";
 
     os << "  \"run\": {\n";
     os << "    \"generations_completed\": " << m.generationsCompleted
@@ -301,6 +308,11 @@ loadManifest(const std::string& run_dir, Manifest& out, std::string* error)
         if (const json::Value* analytics =
                 settings->find("record_analytics"))
             out.recordAnalytics = analytics->boolean;
+        if (const json::Value* cov = settings->find("record_coverage"))
+            out.recordCoverage = cov->boolean;
+        if (const json::Value* attr =
+                settings->find("record_attribution"))
+            out.recordAttribution = attr->boolean;
     }
     if (const json::Value* run = root.find("run")) {
         out.generationsCompleted =

@@ -83,6 +83,8 @@ struct Manifest
     int waveformTopK = 0;
     bool recordStats = true;
     bool recordAnalytics = true;
+    bool recordCoverage = false;
+    bool recordAttribution = false;
 
     // Run summary.
     int generationsCompleted = 0;

@@ -37,6 +37,10 @@ inferArtifactKind(const std::string& rel_path)
         return "population";
     if (startsWith(rel_path, "waveforms/"))
         return "waveform";
+    if (rel_path == "coverage.csv")
+        return "coverage";
+    if (startsWith(rel_path, "attribution/"))
+        return "attribution";
     if (endsWith(rel_path, "trace.json"))
         return "trace";
     if (endsWith(rel_path, ".txt"))
@@ -74,6 +78,8 @@ ProvenanceRecorder::seal(const SealInfo& info,
     m.waveformTopK = info.waveformTopK;
     m.recordStats = info.recordStats;
     m.recordAnalytics = info.recordAnalytics;
+    m.recordCoverage = info.recordCoverage;
+    m.recordAttribution = info.recordAttribution;
     m.generationsCompleted = info.generationsCompleted;
     m.evaluations = info.evaluations;
     m.bestFitness = info.bestFitness;

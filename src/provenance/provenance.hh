@@ -43,6 +43,8 @@ struct SealInfo
     int waveformTopK = 0;
     bool recordStats = true;
     bool recordAnalytics = true;
+    bool recordCoverage = false;
+    bool recordAttribution = false;
 
     // Run outcome.
     int generationsCompleted = 0;

@@ -7,14 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "util/fileutil.hh"
 #include "util/strutil.hh"
 
 #ifndef GEST_CLI_PATH
 #define GEST_CLI_PATH "./tools/gest"
+#endif
+
+#ifndef GEST_README_PATH
+#define GEST_README_PATH "README.md"
 #endif
 
 namespace gest {
@@ -509,6 +515,96 @@ TEST_F(CliTest, TopOnRunDirWithoutHistoryShowsWaitingState)
     EXPECT_NE(runCli("top '" + _dir + "/nonexistent' --once", output,
                      _dir),
               0);
+}
+
+/** The `gest <name>` subcommands a usage or README text mentions. */
+std::set<std::string>
+subcommandsIn(const std::string& text, const std::string& prefix)
+{
+    std::set<std::string> names;
+    for (const std::string& line : split(text, '\n')) {
+        const std::size_t at = line.find(prefix);
+        if (at == std::string::npos)
+            continue;
+        std::size_t end = at + prefix.size();
+        while (end < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[end])) ||
+                line[end] == '-'))
+            ++end;
+        const std::string name =
+            line.substr(at + prefix.size(), end - at - prefix.size());
+        if (!name.empty())
+            names.insert(name);
+    }
+    return names;
+}
+
+TEST_F(CliTest, UsageAndReadmeAgreeOnTheCommandSet)
+{
+    // Every subcommand must appear in usage() with a description...
+    std::string usage;
+    EXPECT_NE(runCli("", usage, _dir), 0);
+    const std::set<std::string> from_usage =
+        subcommandsIn(usage, "  gest ");
+    ASSERT_FALSE(from_usage.empty());
+    for (const char* required :
+         {"run", "probe", "attribute", "report", "explain", "stats",
+          "fittest", "top", "verify", "compare", "platforms",
+          "classes"})
+        EXPECT_EQ(from_usage.count(required), 1u) << required;
+
+    // ...and the README's command table must list exactly the same set
+    // (rows of the form "| `gest <name> ...` | description |").
+    const std::string readme = readFile(GEST_README_PATH);
+    const std::set<std::string> from_readme =
+        subcommandsIn(readme, "| `gest ");
+    EXPECT_EQ(from_usage, from_readme);
+}
+
+TEST_F(CliTest, AttributeExplainsTheChampion)
+{
+    std::string output;
+    ASSERT_EQ(runCli("run '" + _dir + "/config.xml' --quiet", output,
+                     _dir),
+              0)
+        << output;
+    const std::string run_dir = _dir + "/run_out";
+
+    ASSERT_EQ(runCli("attribute '" + _dir + "/config.xml' '" + run_dir +
+                         "' --top 3",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_NE(output.find("top load-bearing genes:"), std::string::npos);
+    EXPECT_NE(output.find("class attribution:"), std::string::npos);
+    EXPECT_NE(output.find("whole-champion ablation"), std::string::npos);
+
+    // The default lands beside, never inside, the sealed attribution/
+    // directory, so attributing a sealed run keeps it verifiable.
+    const std::string csv_dir = run_dir + "/attribute";
+    ASSERT_TRUE(dirExists(csv_dir)) << output;
+    bool found_csv = false;
+    for (const std::string& line : split(output, '\n')) {
+        const std::size_t at = line.find(csv_dir + "/individual_");
+        if (at != std::string::npos && endsWith(line, ".csv")) {
+            const std::string path = line.substr(at);
+            EXPECT_TRUE(startsWith(readFile(path),
+                                   "# gest-attribution v1\n"));
+            found_csv = true;
+        }
+    }
+    EXPECT_TRUE(found_csv) << output;
+    EXPECT_EQ(runCli("verify '" + run_dir + "' --quick", output, _dir),
+              0)
+        << output;
+
+    // --out redirects the artifacts away from the run directory.
+    ASSERT_EQ(runCli("attribute '" + _dir + "/config.xml' '" + run_dir +
+                         "' --out '" + _dir + "/attr_out'",
+                     output, _dir),
+              0)
+        << output;
+    EXPECT_TRUE(dirExists(_dir + "/attr_out"));
 }
 
 } // namespace

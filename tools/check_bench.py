@@ -55,6 +55,9 @@ REQUIRED_FIELDS = {
     "evals_per_sec_fast_steady": (int, float),
     "evals_per_sec_full_steady": (int, float),
     "speedup_steady": (int, float),
+    "coverage_cells": int,
+    "evals_per_sec_fast_cov": (int, float),
+    "coverage_overhead": (int, float),
 }
 
 
@@ -139,6 +142,11 @@ def validate(path):
                       "evals_per_sec_full", "speedup")
         check_speedup(record, "evals_per_sec_fast_steady",
                       "evals_per_sec_full_steady", "speedup_steady")
+        if record["coverage_cells"] <= 0:
+            fail(f"{name}: coverage_cells must be positive")
+        if record["evals_per_sec_fast_cov"] <= 0 or \
+                record["coverage_overhead"] <= 0:
+            fail(f"{name}: coverage datapoint must be positive")
 
     summary = ", ".join(
         f"{r['platform']} {r['speedup']:.2f}x/"
@@ -170,7 +178,8 @@ def diff_previous(platforms, previous_path):
             continue
         for key in ("evals_per_sec_fast", "evals_per_sec_full",
                     "evals_per_sec_fast_steady",
-                    "evals_per_sec_full_steady"):
+                    "evals_per_sec_full_steady",
+                    "evals_per_sec_fast_cov"):
             new_v = record[key]
             old_v = old.get(key)
             if not isinstance(old_v, (int, float)) or old_v <= 0:

@@ -36,6 +36,8 @@
 #include <chrono>
 #include <thread>
 
+#include "attribution/attribution.hh"
+#include "attribution/attribution_io.hh"
 #include "config/config.hh"
 #include "fitness/fitness.hh"
 #include "isa/standard_libs.hh"
@@ -60,6 +62,9 @@ using namespace gest;
 int
 usage()
 {
+    // One line per subcommand, each with a description:
+    // tests/test_cli.cc asserts this list and the README's command
+    // table name exactly the same set of subcommands.
     std::fprintf(
         stderr,
         "usage:\n"
@@ -67,6 +72,9 @@ usage()
         "  gest probe <config.xml> <run_dir|population>\n"
         "                               re-measure an individual with "
         "full signal capture\n"
+        "  gest attribute <config.xml> <run_dir|population>\n"
+        "                               ablate the champion gene by "
+        "gene and attribute its fitness\n"
         "  gest report <run_dir>        summarize a run (works while "
         "in flight)\n"
         "  gest explain <run_dir>       champion ancestry, mix "
@@ -100,6 +108,11 @@ usage()
         "options for compare: --json (machine-readable output)\n"
         "options for probe: --out <dir> (artifact directory; default "
         "<target>/probe)\n"
+        "options for attribute: --out <dir> (artifact directory; "
+        "default <target>/attribute — never the sealed "
+        "attribution/)\n"
+        "                       --top K (load-bearing genes listed; "
+        "default 5)\n"
         "options for stats/fittest: --library arm|x86|cache-stress\n");
     return 2;
 }
@@ -228,6 +241,35 @@ cmdRun(const std::string& path, const char* threads_override,
     return 0;
 }
 
+/**
+ * Resolve a probe/attribute target: a run directory yields its
+ * all-time champion, a saved population file its best individual
+ * (falling back to the first when none carries a fitness).
+ */
+core::Individual
+resolveTargetIndividual(const config::RunConfig& cfg,
+                        const std::string& target, const char* what,
+                        int* generation)
+{
+    if (dirExists(target))
+        return output::fittestInRun(cfg.library, target, generation);
+    if (fileExists(target)) {
+        const core::Population pop =
+            core::loadPopulation(cfg.library, target);
+        if (pop.individuals.empty())
+            fatal("population file ", target, " holds no individuals");
+        core::Individual ind = pop.individuals.front();
+        for (const core::Individual& candidate : pop.individuals) {
+            if (candidate.evaluated &&
+                (!ind.evaluated || candidate.fitness > ind.fitness))
+                ind = candidate;
+        }
+        return ind;
+    }
+    fatal(what, " target ", target,
+          " is neither a run directory nor a population file");
+}
+
 int
 cmdProbe(const std::string& config_path, const std::string& target,
          const char* out_override)
@@ -244,28 +286,9 @@ cmdProbe(const std::string& config_path, const std::string& target,
         fitness::FitnessRegistry::instance().create(cfg.fitnessClass);
     fit->init(cfg.fitnessConfig);
 
-    // The target is either a run directory (probe its all-time
-    // champion) or a saved population file (probe its best, falling
-    // back to the first individual when none carries a fitness).
-    core::Individual ind;
     int generation = -1;
-    if (dirExists(target)) {
-        ind = output::fittestInRun(cfg.library, target, &generation);
-    } else if (fileExists(target)) {
-        const core::Population pop =
-            core::loadPopulation(cfg.library, target);
-        if (pop.individuals.empty())
-            fatal("population file ", target, " holds no individuals");
-        ind = pop.individuals.front();
-        for (const core::Individual& candidate : pop.individuals) {
-            if (candidate.evaluated &&
-                (!ind.evaluated || candidate.fitness > ind.fitness))
-                ind = candidate;
-        }
-    } else {
-        fatal("probe target ", target,
-              " is neither a run directory nor a population file");
-    }
+    core::Individual ind =
+        resolveTargetIndividual(cfg, target, "probe", &generation);
 
     inform("probing individual ", ind.id, " (", ind.code.size(),
            " instructions) with measurement ", cfg.measurementClass);
@@ -301,6 +324,89 @@ cmdProbe(const std::string& config_path, const std::string& target,
     std::printf("           %s\n", artifacts.jsonPath.c_str());
     if (!artifacts.spectrumPath.empty())
         std::printf("           %s\n", artifacts.spectrumPath.c_str());
+    return 0;
+}
+
+int
+cmdAttribute(const std::string& config_path, const std::string& target,
+             const char* out_override, const char* top_arg)
+{
+    config::RunConfig cfg = config::loadConfig(config_path);
+    config::registerBuiltins();
+    native::registerNativeMeasurements();
+
+    std::unique_ptr<measure::Measurement> measurement =
+        measure::MeasurementRegistry::instance().create(
+            cfg.measurementClass, cfg.library);
+    measurement->init(cfg.measurementConfig);
+    std::unique_ptr<fitness::Fitness> fit =
+        fitness::FitnessRegistry::instance().create(cfg.fitnessClass);
+    fit->init(cfg.fitnessConfig);
+
+    int generation = -1;
+    core::Individual ind =
+        resolveTargetIndividual(cfg, target, "attribute", &generation);
+
+    attribution::AttributionOptions options;
+    if (top_arg)
+        options.topK = static_cast<int>(parseInt(top_arg, "--top"));
+
+    inform("attributing individual ", ind.id, " (", ind.code.size(),
+           " genes) with measurement ", cfg.measurementClass);
+
+    attribution::AttributionResult result =
+        attribution::computeAttribution(cfg.library, *measurement,
+                                        *fit, ind, options);
+    result.generation = generation;
+
+    // Default beside, never inside, the sealed attribution/ directory:
+    // overwriting a sealed artifact would fail a later `gest verify`.
+    const std::string out_dir =
+        out_override ? std::string(out_override)
+                     : target + "/attribute";
+    const attribution::AttributionArtifacts artifacts =
+        attribution::writeAttributionArtifacts(
+            out_dir, "individual_" + std::to_string(ind.id), result);
+
+    std::printf("# id %llu%s, fitness %.6f (%s, %s)\n",
+                static_cast<unsigned long long>(result.individualId),
+                generation >= 0
+                    ? (", generation " + std::to_string(generation))
+                          .c_str()
+                    : "",
+                result.baselineFitness, cfg.measurementClass.c_str(),
+                fit->name().c_str());
+    std::printf("filler: %s (%s); %llu evaluations for %zu genes\n",
+                result.fillerInstruction.c_str(),
+                result.fillerIsNop ? "nop" : "same-class",
+                static_cast<unsigned long long>(result.evaluationsUsed),
+                result.genes.size());
+    std::printf("top load-bearing genes:\n");
+    for (std::size_t rank = 0; rank < result.topGenes.size(); ++rank) {
+        const attribution::GeneAttribution& g =
+            result.genes[result.topGenes[rank]];
+        std::printf("  %zu. gene %-3zu %-10s %-20s delta %+.6f%s\n",
+                    rank + 1, g.index, g.instruction.c_str(),
+                    g.operands.c_str(), g.deltaFitness,
+                    result.sumDelta != 0.0
+                        ? (" (" +
+                           std::to_string(static_cast<int>(
+                               100.0 * g.deltaFitness /
+                                   result.sumDelta +
+                               0.5)) +
+                           "% of sum)")
+                              .c_str()
+                        : "");
+    }
+    std::printf("class attribution:\n");
+    for (const attribution::ClassAttribution& c : result.classes)
+        std::printf("  %-12s %3d genes   delta %+.6f\n",
+                    isa::toString(c.cls), c.genes, c.deltaSum);
+    std::printf("sum of per-gene deltas %.6f; whole-champion ablation "
+                "delta %.6f\n",
+                result.sumDelta, result.wholeAblationDelta);
+    std::printf("artifacts: %s\n", artifacts.csvPath.c_str());
+    std::printf("           %s\n", artifacts.jsonPath.c_str());
     return 0;
 }
 
@@ -476,6 +582,7 @@ try {
     const char* steady_override = nullptr;
     const char* listen_override = nullptr;
     const char* interval_arg = nullptr;
+    const char* top_arg = nullptr;
     bool want_trace = false;
     bool want_json = false;
     bool want_once = false;
@@ -514,6 +621,10 @@ try {
             if (i + 1 >= argc)
                 fatal("--interval requires a value in seconds");
             interval_arg = argv[++i];
+        } else if (std::strcmp(arg, "--top") == 0) {
+            if (i + 1 >= argc)
+                fatal("--top requires a value");
+            top_arg = argv[++i];
         } else if (std::strcmp(arg, "--once") == 0) {
             want_once = true;
         } else if (std::strcmp(arg, "--json") == 0) {
@@ -539,6 +650,9 @@ try {
     }
     if (command == "probe" && positional.size() == 2)
         return cmdProbe(positional[0], positional[1], out_override);
+    if (command == "attribute" && positional.size() == 2)
+        return cmdAttribute(positional[0], positional[1], out_override,
+                            top_arg);
     if (command == "report" && positional.size() == 1)
         return cmdReport(positional[0], want_json);
     if (command == "explain" && positional.size() == 1)
