@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "provenance/manifest.hh"
 #include "stats/stats.hh"
 #include "util/fileutil.hh"
 #include "util/logging.hh"
@@ -109,6 +110,20 @@ formatStatusJson(const StatusSnapshot& snapshot)
                       static_cast<long long>(snapshot.digestsSealed));
         payload += buf;
     }
+    // Optional block, same convention: only watched runs say anything
+    // about alerts, and a watched clean run says `"raised": 0` — "no
+    // alerts", not "not watched".
+    if (snapshot.alertsRaised >= 0) {
+        payload += "  \"alerts\": {\n    \"raised\": " +
+                   std::to_string(snapshot.alertsRaised) + ",\n";
+        payload += "    \"last_generation\": " +
+                   std::to_string(snapshot.lastAlertGeneration) + ",\n";
+        payload += "    \"last_rule\": \"" +
+                   jsonEscape(snapshot.lastAlertRule) + "\"\n  },\n";
+    }
+    payload += "  \"git_sha\": \"" + jsonEscape(snapshot.gitSha) +
+               "\",\n";
+    payload += "  \"build\": \"" + jsonEscape(snapshot.build) + "\",\n";
     payload += "  \"listen\": \"" + jsonEscape(snapshot.listen) +
                "\"\n}\n";
     return payload;
@@ -284,6 +299,15 @@ Recorder::writeStatus(const core::Population& pop,
     if (_digestProvider)
         snapshot.digestsSealed =
             static_cast<std::int64_t>(_digestProvider());
+    if (_healthProvider) {
+        const HealthSummary health = _healthProvider();
+        snapshot.alertsRaised =
+            static_cast<std::int64_t>(health.alerts);
+        snapshot.lastAlertGeneration = health.lastGeneration;
+        snapshot.lastAlertRule = health.lastRule;
+    }
+    snapshot.gitSha = provenance::currentGitSha();
+    snapshot.build = provenance::currentBuildFingerprint();
     snapshot.listen = _listenAddress;
 
     const std::string payload = formatStatusJson(snapshot);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/analytics.hh"
+#include "analysis/health.hh"
 #include "analysis/lineage.hh"
 #include "core/engine.hh"
 
@@ -69,6 +70,19 @@ struct StatusSnapshot
      * exact final count.
      */
     std::int64_t digestsSealed = -1;
+
+    /**
+     * GA health-watchdog summary; alertsRaised = -1 (block omitted)
+     * when the run is not watched, so unwatched runs keep the previous
+     * schema byte-for-byte.
+     */
+    std::int64_t alertsRaised = -1;
+    int lastAlertGeneration = -1;
+    std::string lastAlertRule;
+
+    /** Build identity of the serving binary (always present). */
+    std::string gitSha;
+    std::string build;
 
     /** host:port of the live telemetry server; empty when serverless. */
     std::string listen;
@@ -160,6 +174,16 @@ class Recorder
         _digestProvider = std::move(fn);
     }
 
+    /**
+     * Let heartbeats carry the health watchdog's summary (the "alerts"
+     * status.json block). Same polling contract as the digest provider;
+     * unset means the block is omitted.
+     */
+    void setHealthProvider(std::function<HealthSummary()> fn)
+    {
+        _healthProvider = std::move(fn);
+    }
+
     /** Analytics rows sealed so far (tests). */
     const std::vector<AnalyticsRow>& rows() const { return _rows; }
 
@@ -181,6 +205,7 @@ class Recorder
     std::string _listenAddress;
     std::function<void(const std::string&)> _statusListener;
     std::function<std::uint64_t()> _digestProvider;
+    std::function<HealthSummary()> _healthProvider;
 
     // Last-generation summary repeated in the final status.json.
     bool _sawGeneration = false;

@@ -239,6 +239,30 @@ parseConfig(const std::string& text, const std::string& base_dir,
         if (out->hasAttr("attribution"))
             cfg.recordAttribution = parseBool(
                 out->attr("attribution"), "output attribution");
+        if (out->hasAttr("health"))
+            cfg.recordHealth =
+                parseBool(out->attr("health"), "output health");
+        if (out->hasAttr("health_plateau"))
+            cfg.healthRules.plateauGenerations =
+                static_cast<int>(parseInt(out->attr("health_plateau"),
+                                          "output health_plateau"));
+        if (out->hasAttr("health_collapse_factor"))
+            cfg.healthRules.throughputCollapseFactor =
+                parseDouble(out->attr("health_collapse_factor"),
+                            "output health_collapse_factor");
+        if (out->hasAttr("health_cache_floor"))
+            cfg.healthRules.cacheHitRateFloor =
+                parseDouble(out->attr("health_cache_floor"),
+                            "output health_cache_floor");
+        if (out->hasAttr("health_coverage_stall"))
+            cfg.healthRules.coverageStallGenerations =
+                static_cast<int>(
+                    parseInt(out->attr("health_coverage_stall"),
+                             "output health_coverage_stall"));
+        if (out->hasAttr("health_starvation_share"))
+            cfg.healthRules.workerStarvationShare =
+                parseDouble(out->attr("health_starvation_share"),
+                            "output health_starvation_share");
         if (out->hasAttr("listen"))
             cfg.listenAddress = out->attr("listen");
         if (out->hasAttr("waveforms")) {
@@ -376,6 +400,25 @@ runFromConfig(const RunConfig& cfg)
         engine.addGenerationObserver(coverage->observer());
     }
 
+    // Health watchdog: installed after the coverage ledger (whose tick
+    // for generation N is already in when the watchdog evaluates N)
+    // and before the telemetry observer (so alert SSE frames precede
+    // their generation's frame). Useful even without an output
+    // directory (live /alerts only).
+    std::unique_ptr<analysis::HealthWatchdog> watchdog;
+    if (cfg.recordHealth) {
+        watchdog =
+            std::make_unique<analysis::HealthWatchdog>(cfg.healthRules);
+        if (!cfg.outputDirectory.empty()) {
+            ensureDir(cfg.outputDirectory);
+            watchdog->setCsvPath(cfg.outputDirectory + "/alerts.csv");
+        }
+        engine.addGenerationObserver(watchdog->observer());
+        if (recorder)
+            recorder->setHealthProvider(
+                [w = watchdog.get()] { return w->summary(); });
+    }
+
     // Provenance: digest ledger during the run, manifest seal after.
     // Attached after the recorder, so mid-run status.json heartbeats
     // report the previous generation's digest count (finish() is exact).
@@ -407,22 +450,39 @@ runFromConfig(const RunConfig& cfg)
                     service->setStatusJson(payload);
                 });
         }
-        if (coverage) {
+        if (watchdog) {
             net::TelemetryService* service = &telemetry->service();
-            coverage->setGenerationListener(
-                [service](
-                    const attribution::CoverageLedger::Snapshot& snap) {
-                    net::TelemetryService::CoverageTick tick;
-                    tick.generation = snap.generation;
-                    tick.cellsSeen = snap.cellsSeen;
-                    tick.cellsTotal = snap.cellsTotal;
-                    tick.newCells = snap.newCells;
-                    tick.saturationPct = snap.saturationPct;
-                    tick.noveltyRate = snap.noveltyRate;
-                    service->noteCoverage(
-                        tick, attribution::formatCoverageJson(snap));
+            watchdog->setAlertListener(
+                [service](const analysis::Alert& alert) {
+                    service->noteAlert(alert);
                 });
         }
+    }
+
+    // One coverage listener feeds both consumers: the watchdog's
+    // coverage_stall rule and the live /coverage snapshot. Fires inside
+    // the coverage observer, which runs before both of theirs.
+    if (coverage && (watchdog || telemetry)) {
+        net::TelemetryService* service =
+            telemetry ? &telemetry->service() : nullptr;
+        analysis::HealthWatchdog* wd = watchdog.get();
+        coverage->setGenerationListener(
+            [service,
+             wd](const attribution::CoverageLedger::Snapshot& snap) {
+                if (wd)
+                    wd->noteCoverage(snap.generation, snap.newCells);
+                if (service == nullptr)
+                    return;
+                net::TelemetryService::CoverageTick tick;
+                tick.generation = snap.generation;
+                tick.cellsSeen = snap.cellsSeen;
+                tick.cellsTotal = snap.cellsTotal;
+                tick.newCells = snap.newCells;
+                tick.saturationPct = snap.saturationPct;
+                tick.noveltyRate = snap.noveltyRate;
+                service->noteCoverage(
+                    tick, attribution::formatCoverageJson(snap));
+            });
     }
 
     engine.run();
@@ -502,6 +562,15 @@ runFromConfig(const RunConfig& cfg)
             writer->noteArtifact("coverage.csv", "coverage");
     }
 
+    if (watchdog && fileExists(watchdog->csvPath())) {
+        const analysis::HealthSummary health = watchdog->summary();
+        if (health.alerts > 0)
+            warn("health watchdog raised ", health.alerts,
+                 " alert(s); see ", watchdog->csvPath());
+        if (writer)
+            writer->noteArtifact("alerts.csv", "alerts");
+    }
+
     if (recorder)
         recorder->finish();
     if (trace) {
@@ -509,6 +578,10 @@ runFromConfig(const RunConfig& cfg)
         result.traceFile = cfg.traceFile;
     }
     if (cfg.recordStats && !cfg.outputDirectory.empty()) {
+        // Freshen the process self-observation gauges so the sealed
+        // dump agrees with what a final /metrics scrape would have
+        // shown.
+        stats::updateProcessGauges();
         writeFile(cfg.outputDirectory + "/stats.txt",
                   stats::StatsRegistry::instance().textDump());
         writeFile(cfg.outputDirectory + "/metrics.json",

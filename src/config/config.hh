@@ -45,6 +45,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/health.hh"
 #include "core/engine.hh"
 #include "core/ga_params.hh"
 #include "isa/asm_template.hh"
@@ -131,6 +132,22 @@ struct RunConfig
      * the GA itself is untouched.
      */
     bool recordAttribution = false;
+
+    /**
+     * Watch GA health during the run (<output health="true"/>, default
+     * false): an analysis::HealthWatchdog observes every evaluated
+     * generation, evaluates the declarative rules in
+     * analysis::HealthRules and seals a `# gest-alerts v1` alerts.csv
+     * in the output directory (plus the /alerts endpoint and `alert`
+     * SSE events when --listen is on, and an `alerts` block in
+     * status.json). Observation is read-only — never the GA RNG — so
+     * all other artifacts are byte-identical with the watchdog on or
+     * off. Thresholds tune via health_plateau, health_collapse_factor,
+     * health_cache_floor, health_coverage_stall and
+     * health_starvation_share attributes (zero disables a rule).
+     */
+    bool recordHealth = false;
+    analysis::HealthRules healthRules;
 
     /**
      * Record run provenance (<output provenance="...">, default true):

@@ -1,6 +1,7 @@
 #include "net/telemetry.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "analysis/recorder.hh"
 #include "core/individual.hh"
@@ -109,10 +110,13 @@ renderPrometheusMetrics()
 }
 
 GenerationEventBuffer::GenerationEventBuffer(std::size_t capacity)
-    : _slots(capacity == 0 ? 1 : capacity)
+    : _slots(capacity == 0 ? 1 : capacity),
+      _keys(capacity == 0 ? 1 : capacity)
 {
     for (std::atomic<const std::string*>& slot : _slots)
         slot.store(nullptr, std::memory_order_relaxed);
+    for (std::atomic<long long>& key : _keys)
+        key.store(-1, std::memory_order_relaxed);
 }
 
 GenerationEventBuffer::~GenerationEventBuffer()
@@ -123,17 +127,19 @@ GenerationEventBuffer::~GenerationEventBuffer()
 }
 
 void
-GenerationEventBuffer::publish(std::string payload)
+GenerationEventBuffer::publish(std::string payload, long long key)
 {
     const std::size_t n = _size.load(std::memory_order_relaxed);
     if (n >= _slots.size()) {
         _dropped.fetch_add(1, std::memory_order_relaxed);
         return;
     }
-    // Slot first, then size with release: a reader that acquires the
-    // new size is guaranteed to see the fully constructed string.
+    // Slot and key first, then size with release: a reader that
+    // acquires the new size is guaranteed to see the fully constructed
+    // string and its resume key.
     _slots[n].store(new std::string(std::move(payload)),
                     std::memory_order_relaxed);
+    _keys[n].store(key, std::memory_order_relaxed);
     _size.store(n + 1, std::memory_order_release);
 }
 
@@ -248,7 +254,34 @@ TelemetryService::onGenerationEvaluated(const core::Population& pop,
 
     // Publish the SSE event last so a client woken by it can already
     // read the matching snapshots.
-    _events.publish(std::move(frame));
+    _events.publish(std::move(frame), rec.generation);
+}
+
+void
+TelemetryService::noteAlert(const analysis::Alert& alert)
+{
+    const std::string row = analysis::formatAlertJson(alert);
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _alertRows.push_back(row);
+    }
+    // No `id:` line — see the publish() contract: alert frames must
+    // not advance a client's Last-Event-ID, and keyless events are
+    // redelivered on resume.
+    _events.publish("event: alert\ndata: " + row + "\n\n");
+}
+
+std::string
+TelemetryService::alertsJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::string out = "[";
+    for (std::size_t i = 0; i < _alertRows.size(); ++i) {
+        out += i == 0 ? "\n  " : ",\n  ";
+        out += _alertRows[i];
+    }
+    out += _alertRows.empty() ? "]\n" : "\n]\n";
+    return out;
 }
 
 std::string
@@ -372,6 +405,8 @@ TelemetryServer::TelemetryServer(std::string listen_address,
       _http(std::move(listen_address), options)
 {
     _http.route("/metrics", [](const HttpRequest&) {
+        // Sampled, not maintained: refresh uptime/RSS at scrape time.
+        stats::updateProcessGauges();
         HttpResponse res;
         res.contentType = "text/plain; version=0.0.4; charset=utf-8";
         res.body = renderPrometheusMetrics();
@@ -401,6 +436,12 @@ TelemetryServer::TelemetryServer(std::string listen_address,
         res.body = _service.coverageJson();
         return res;
     });
+    _http.route("/alerts", [this](const HttpRequest&) {
+        HttpResponse res;
+        res.contentType = "application/json";
+        res.body = _service.alertsJson();
+        return res;
+    });
     _http.route("/healthz", [this](const HttpRequest&) {
         HttpResponse res;
         res.contentType = "application/json";
@@ -418,12 +459,26 @@ TelemetryServer::TelemetryServer(std::string listen_address,
                    "  /history   per-generation history (JSON)\n"
                    "  /champion  current best individual (JSON)\n"
                    "  /coverage  search-space coverage ledger (JSON)\n"
+                   "  /alerts    GA health-watchdog alerts (JSON)\n"
                    "  /events    SSE, one event per generation\n"
                    "  /healthz   liveness probe\n";
         return res;
     });
-    _http.routeStream("/events", [this](const HttpRequest&,
+    _http.routeStream("/events", [this](const HttpRequest& req,
                                         StreamWriter& writer) {
+        // Standard SSE resume: a reconnecting client sends the id of
+        // the last event it saw and is replayed only what it missed.
+        // Keyless events (alerts) are always replayed — at-least-once
+        // beats silently losing an alert raised mid-reconnect.
+        long long last_seen = -1;
+        const std::string last_header = req.header("last-event-id");
+        if (!last_header.empty()) {
+            char* end = nullptr;
+            const long long parsed =
+                std::strtoll(last_header.c_str(), &end, 10);
+            if (end != last_header.c_str())
+                last_seen = parsed;
+        }
         if (!writer.write("retry: 1000\n\n"))
             return;
         std::size_t sent = 0;
@@ -431,6 +486,11 @@ TelemetryServer::TelemetryServer(std::string listen_address,
             const GenerationEventBuffer& events = _service.events();
             const std::size_t available = events.size();
             while (sent < available) {
+                const long long key = events.keyAt(sent);
+                if (key >= 0 && key <= last_seen) {
+                    ++sent;
+                    continue;
+                }
                 if (!writer.write(*events.at(sent)))
                     return;
                 ++sent;

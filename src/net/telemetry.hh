@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/health.hh"
 #include "core/engine.hh"
 #include "isa/library.hh"
 #include "net/http_server.hh"
@@ -54,8 +55,22 @@ class GenerationEventBuffer
     GenerationEventBuffer& operator=(const GenerationEventBuffer&) =
         delete;
 
-    /** Publish one payload; single producer only. */
-    void publish(std::string payload);
+    /**
+     * Publish one payload; single producer only. @p key is the event's
+     * resume key — the generation number for frames that carry an SSE
+     * `id:` line, -1 for frames that do not (alerts). A client
+     * reconnecting with `Last-Event-ID: N` is replayed every event
+     * whose key exceeds N *plus* every keyless event, which gives
+     * generation frames exactly-once and alert frames at-least-once
+     * delivery across reconnects.
+     */
+    void publish(std::string payload, long long key = -1);
+
+    /** Resume key of event @p i; requires i < size(). */
+    long long keyAt(std::size_t i) const
+    {
+        return _keys[i].load(std::memory_order_relaxed);
+    }
 
     /** Events visible so far (acquire). */
     std::size_t size() const
@@ -79,6 +94,7 @@ class GenerationEventBuffer
 
   private:
     std::vector<std::atomic<const std::string*>> _slots;
+    std::vector<std::atomic<long long>> _keys;
     std::atomic<std::size_t> _size{0};
     std::atomic<std::uint64_t> _dropped{0};
 };
@@ -153,6 +169,20 @@ class TelemetryService
 
     std::string coverageJson() const;
 
+    /**
+     * Ingest one health-watchdog alert: append it to the /alerts
+     * payload and publish an `event: alert` SSE frame. Coordinator
+     * thread, from the watchdog's alert listener — the run driver
+     * installs the watchdog's observer ahead of this service's, so the
+     * alert frame precedes its generation's `event: generation` frame.
+     * Alert frames carry no SSE id (they never advance a client's
+     * Last-Event-ID), so a resumed stream redelivers them.
+     */
+    void noteAlert(const analysis::Alert& alert);
+
+    /** The `/alerts` payload: every raised alert as a JSON array. */
+    std::string alertsJson() const;
+
     /** Mark the run finished so /events streams can end gracefully. */
     void noteRunCompleted();
 
@@ -187,6 +217,7 @@ class TelemetryService
     std::string _championJson;
     std::string _coverageJson;
     std::vector<std::string> _historyRows;
+    std::vector<std::string> _alertRows;
     // Coordinator-thread only (written by noteCoverage, read by
     // onGenerationEvaluated on the same thread); no lock needed.
     CoverageTick _coverage;
@@ -200,7 +231,7 @@ class TelemetryService
 /**
  * Glue: one TelemetryService hosted by one HttpServer with the live
  * endpoints (/metrics, /status, /history, /champion, /coverage,
- * /events, plus /healthz and a tiny index at /) registered.
+ * /alerts, /events, plus /healthz and a tiny index at /) registered.
  * Construct, start(), attach observer() to the engine, run, stop().
  */
 class TelemetryServer

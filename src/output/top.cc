@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "analysis/health.hh"
 #include "net/http_client.hh"
 #include "output/report.hh"
 #include "util/fileutil.hh"
@@ -21,6 +23,15 @@ namespace {
 void
 applyStatus(const json::Value& status, TopSnapshot& out)
 {
+    out.gitSha = status.stringOr("git_sha", "");
+    out.build = status.stringOr("build", "");
+    if (const json::Value* alerts = status.find("alerts")) {
+        out.alertsRaised = static_cast<std::int64_t>(
+            alerts->numberOr("raised", 0.0));
+        out.lastAlertGeneration = static_cast<int>(
+            alerts->numberOr("last_generation", -1.0));
+        out.lastAlertRule = alerts->stringOr("last_rule", "");
+    }
     out.state = status.stringOr("state", "unknown");
     out.generation =
         static_cast<int>(status.numberOr("generation", -1));
@@ -111,6 +122,38 @@ loadCoverageCsv(const std::string& run_dir, TopSnapshot& out)
         std::strtod(field("saturation_pct").c_str(), nullptr);
     out.coverageNoveltyRate =
         std::strtod(field("novelty_rate").c_str(), nullptr);
+}
+
+/** An alert as one dashboard pane line. */
+std::string
+formatAlertLine(int generation, const std::string& rule,
+                const std::string& severity, const std::string& message)
+{
+    return "gen " + std::to_string(generation) + " " + rule + " (" +
+           severity + "): " + message;
+}
+
+/** Fill the alerts pane of @p out from @p run_dir's alerts.csv. */
+void
+loadAlertsCsv(const std::string& run_dir, TopSnapshot& out)
+{
+    std::vector<analysis::Alert> alerts;
+    try {
+        if (!analysis::loadAlerts(run_dir, alerts))
+            return;
+    } catch (const FatalError&) {
+        return;  // a sick ledger must not take the dashboard down
+    }
+    out.alertsRaised = static_cast<std::int64_t>(alerts.size());
+    if (!alerts.empty()) {
+        out.lastAlertGeneration = alerts.back().generation;
+        out.lastAlertRule = alerts.back().rule;
+    }
+    const std::size_t first = alerts.size() > 3 ? alerts.size() - 3 : 0;
+    for (std::size_t i = first; i < alerts.size(); ++i)
+        out.alertLines.push_back(
+            formatAlertLine(alerts[i].generation, alerts[i].rule,
+                            alerts[i].severity, alerts[i].message));
 }
 
 /** Value of the first "<metric> <number>" line, or @p fallback. */
@@ -217,6 +260,31 @@ fetchTopSnapshot(const std::string& url, TopSnapshot& out)
         if (json::parse(coverage_res.body, coverage, nullptr))
             applyCoverage(coverage, out);
     }
+
+    const net::HttpResult alerts_res = net::httpGet(base + "/alerts");
+    if (alerts_res.ok && alerts_res.status == 200) {
+        json::Value alerts;
+        if (json::parse(alerts_res.body, alerts, nullptr) &&
+            alerts.isArray()) {
+            // /alerts exists on every serving build, but only watched
+            // runs publish into it; status.json's alerts block is the
+            // authority on watched-vs-not, so an empty array does not
+            // flip the -1 sentinel on its own.
+            if (!alerts.array.empty())
+                out.alertsRaised =
+                    static_cast<std::int64_t>(alerts.array.size());
+            const std::size_t first =
+                alerts.array.size() > 3 ? alerts.array.size() - 3 : 0;
+            for (std::size_t i = first; i < alerts.array.size(); ++i) {
+                const json::Value& a = alerts.array[i];
+                out.alertLines.push_back(formatAlertLine(
+                    static_cast<int>(a.numberOr("generation", 0.0)),
+                    a.stringOr("rule", "?"),
+                    a.stringOr("severity", "?"),
+                    a.stringOr("message", "")));
+            }
+        }
+    }
     return true;
 }
 
@@ -275,6 +343,159 @@ loadTopSnapshot(const std::string& run_dir, TopSnapshot& out)
         out.state = "unknown (no status.json; analytics off?)";
     }
     loadCoverageCsv(run_dir, out);
+    loadAlertsCsv(run_dir, out);
+    return true;
+}
+
+TopFilePoller::TopFilePoller(std::string run_dir)
+    : _runDir(std::move(run_dir))
+{}
+
+void
+TopFilePoller::reset()
+{
+    _offset = 0;
+    _carry.clear();
+    _columns.clear();
+    _sawRow = false;
+    _lastGeneration = -1;
+    _lastAverage = 0.0;
+    _lastDiversity = 0.0;
+    _best = 0.0;
+    _trajectory.clear();
+    _hits = 0;
+    _misses = 0;
+    _selectionMs = 0.0;
+    _crossoverMs = 0.0;
+    _mutationMs = 0.0;
+    _evaluationMs = 0.0;
+}
+
+void
+TopFilePoller::ingestLine(const std::string& line)
+{
+    if (line.empty() || line[0] == '#')
+        return;
+    if (_columns.empty()) {
+        _columns = split(line, ',');
+        return;
+    }
+    const std::vector<std::string> cells = split(line, ',');
+    // Skip malformed rows instead of failing: the poller can race the
+    // run's writer, and the next refresh sees the repaired tail.
+    if (cells.size() < _columns.size())
+        return;
+    auto cell = [&](const char* name) -> const char* {
+        for (std::size_t i = 0; i < _columns.size(); ++i) {
+            if (_columns[i] == name)
+                return cells[i].c_str();
+        }
+        return nullptr;
+    };
+    const char* generation = cell("generation");
+    const char* best = cell("best_fitness");
+    if (generation == nullptr || best == nullptr)
+        return;
+
+    const double best_fitness = std::strtod(best, nullptr);
+    _lastGeneration =
+        static_cast<int>(std::strtol(generation, nullptr, 10));
+    _trajectory.push_back(best_fitness);
+    _best = _sawRow ? std::max(_best, best_fitness) : best_fitness;
+    _sawRow = true;
+    if (const char* v = cell("average_fitness"))
+        _lastAverage = std::strtod(v, nullptr);
+    if (const char* v = cell("diversity"))
+        _lastDiversity = std::strtod(v, nullptr);
+    if (const char* v = cell("cache_hits"))
+        _hits += std::strtoull(v, nullptr, 10);
+    if (const char* v = cell("cache_misses"))
+        _misses += std::strtoull(v, nullptr, 10);
+    if (const char* v = cell("selection_ms"))
+        _selectionMs += std::strtod(v, nullptr);
+    if (const char* v = cell("crossover_ms"))
+        _crossoverMs += std::strtod(v, nullptr);
+    if (const char* v = cell("mutation_ms"))
+        _mutationMs += std::strtod(v, nullptr);
+    if (const char* v = cell("evaluation_ms"))
+        _evaluationMs += std::strtod(v, nullptr);
+}
+
+bool
+TopFilePoller::poll(TopSnapshot& out)
+{
+    out = TopSnapshot();
+    out.live = false;
+    out.source = _runDir;
+
+    std::ifstream in(_runDir + "/history.csv",
+                     std::ios::binary | std::ios::ate);
+    if (!in) {
+        if (!dirExists(_runDir)) {
+            out.error =
+                "run directory '" + _runDir + "' does not exist";
+            return false;
+        }
+        reset();
+        out.state = "waiting for first generation";
+        return true;
+    }
+    const std::uint64_t size =
+        static_cast<std::uint64_t>(in.tellg());
+    if (size < _offset)
+        reset();  // truncated or replaced: re-parse from the top
+    if (size > _offset) {
+        in.seekg(static_cast<std::streamoff>(_offset));
+        std::string chunk(static_cast<std::size_t>(size - _offset),
+                          '\0');
+        in.read(&chunk[0],
+                static_cast<std::streamsize>(chunk.size()));
+        chunk.resize(static_cast<std::size_t>(in.gcount()));
+        _offset += chunk.size();
+        _carry += chunk;
+        std::size_t start = 0;
+        for (std::size_t nl = _carry.find('\n');
+             nl != std::string::npos; nl = _carry.find('\n', start)) {
+            ingestLine(_carry.substr(start, nl - start));
+            start = nl + 1;
+        }
+        _carry.erase(0, start);
+    }
+    if (!_sawRow) {
+        out.state = "waiting for first generation";
+        return true;
+    }
+
+    out.generation = _lastGeneration;
+    out.bestFitness = _best;
+    out.averageFitness = _lastAverage;
+    out.diversity = _lastDiversity;
+    out.bestTrajectory = _trajectory;
+    out.evaluations = _misses;
+    const std::uint64_t resolved = _hits + _misses;
+    out.cacheHitRate =
+        resolved > 0 ? static_cast<double>(_hits) /
+                           static_cast<double>(resolved)
+                     : 0.0;
+    out.evalsPerSec = _evaluationMs > 0.0
+                          ? static_cast<double>(_misses) /
+                                (_evaluationMs / 1e3)
+                          : 0.0;
+    out.selectionMs = _selectionMs;
+    out.crossoverMs = _crossoverMs;
+    out.mutationMs = _mutationMs;
+    out.evaluationMs = _evaluationMs;
+
+    std::string status_text;
+    if (tryReadFile(_runDir + "/status.json", status_text)) {
+        json::Value status;
+        if (json::parse(status_text, status, nullptr))
+            applyStatus(status, out);
+    } else {
+        out.state = "unknown (no status.json; analytics off?)";
+    }
+    loadCoverageCsv(_runDir, out);
+    loadAlertsCsv(_runDir, out);
     return true;
 }
 
@@ -320,7 +541,12 @@ renderTop(const TopSnapshot& snapshot)
     char line[256];
     std::string out;
     out += "gest top — " + snapshot.source +
-           (snapshot.live ? " (live)\n" : " (files)\n");
+           (snapshot.live ? " (live)" : " (files)");
+    if (!snapshot.gitSha.empty() && snapshot.gitSha != "unknown")
+        out += "   git " + snapshot.gitSha.substr(0, 12);
+    out += "\n";
+    if (!snapshot.build.empty())
+        out += "build " + snapshot.build + "\n";
     if (!snapshot.error.empty()) {
         out += "error: " + snapshot.error + "\n";
         return out;
@@ -418,6 +644,23 @@ renderTop(const TopSnapshot& snapshot)
             out += line;
         }
         out += "\n";
+    }
+
+    // Alerts pane: hidden for unwatched runs; a watched clean run says
+    // so explicitly ("none" is information, absence is not).
+    if (snapshot.alertsRaised == 0) {
+        out += "alerts none\n";
+    } else if (snapshot.alertsRaised > 0) {
+        std::snprintf(
+            line, sizeof(line), "alerts %lld (last: %s @ gen %d)\n",
+            static_cast<long long>(snapshot.alertsRaised),
+            snapshot.lastAlertRule.empty()
+                ? "?"
+                : snapshot.lastAlertRule.c_str(),
+            snapshot.lastAlertGeneration);
+        out += line;
+        for (const std::string& alert : snapshot.alertLines)
+            out += "  " + alert + "\n";
     }
     return out;
 }

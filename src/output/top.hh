@@ -73,6 +73,20 @@ struct TopSnapshot
     /** Busy fraction per evaluation worker, [0, 1]; may be empty. */
     std::vector<double> workerBusyFrac;
 
+    /**
+     * Health-watchdog alerts: -1 when the run is unwatched (pane
+     * hidden), 0 for a watched clean run ("alerts none"). alertLines
+     * holds the most recent alerts, already human-formatted.
+     */
+    std::int64_t alertsRaised = -1;
+    int lastAlertGeneration = -1;
+    std::string lastAlertRule;
+    std::vector<std::string> alertLines;
+
+    /** Build identity of the serving binary (from /status; may be ""). */
+    std::string gitSha;
+    std::string build;
+
     /** Non-empty when collection failed; other fields are unusable. */
     std::string error;
 };
@@ -90,6 +104,55 @@ bool fetchTopSnapshot(const std::string& url, TopSnapshot& out);
  * snapshot.error set when the directory holds no readable run.
  */
 bool loadTopSnapshot(const std::string& run_dir, TopSnapshot& out);
+
+/**
+ * The incremental file poller behind `gest top <run_dir>`'s refresh
+ * loop. loadTopSnapshot() re-reads and re-parses the whole history.csv
+ * every call — O(run length) per refresh, quadratic over a run's
+ * lifetime. The poller remembers its byte offset into history.csv and
+ * parses only the bytes appended since the last poll (a partial
+ * trailing line is carried until its newline arrives; a file that
+ * shrank — truncated or replaced — resets the parse from offset 0), so
+ * each refresh costs O(new generations). status.json, coverage.csv and
+ * alerts.csv stay whole-file reads: they are bounded-size snapshots,
+ * not append-only logs.
+ */
+class TopFilePoller
+{
+  public:
+    explicit TopFilePoller(std::string run_dir);
+
+    /**
+     * Refresh @p out from the run directory. Same contract as
+     * loadTopSnapshot, except malformed history rows are skipped
+     * instead of failing the snapshot (the poller may observe a live
+     * file mid-write).
+     */
+    bool poll(TopSnapshot& out);
+
+  private:
+    void reset();
+    void ingestLine(const std::string& line);
+
+    std::string _runDir;
+    std::uint64_t _offset = 0;  ///< history.csv bytes consumed
+    std::string _carry;         ///< partial line awaiting its newline
+    std::vector<std::string> _columns;  ///< header → cell mapping
+
+    // Aggregates over every ingested row.
+    bool _sawRow = false;
+    int _lastGeneration = -1;
+    double _lastAverage = 0.0;
+    double _lastDiversity = 0.0;
+    double _best = 0.0;
+    std::vector<double> _trajectory;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    double _selectionMs = 0.0;
+    double _crossoverMs = 0.0;
+    double _mutationMs = 0.0;
+    double _evaluationMs = 0.0;
+};
 
 /**
  * Map @p values onto a @p width-glyph Unicode sparkline (block

@@ -111,6 +111,12 @@ currentBuildFingerprint()
     return compiler + ", " + GEST_BUILD_TYPE + ", " + GEST_GIT_SHA;
 }
 
+std::string
+currentGitSha()
+{
+    return GEST_GIT_SHA;
+}
+
 void
 fillBuildInfo(Manifest& m)
 {

@@ -110,6 +110,9 @@ std::string canonicalConfigHash(const std::string& xml_text);
 /** The current binary's "compiler, build type, git sha" fingerprint. */
 std::string currentBuildFingerprint();
 
+/** The git revision baked into the current binary ("unknown" without). */
+std::string currentGitSha();
+
 /** Fill the build/platform fields of @p m from the current binary. */
 void fillBuildInfo(Manifest& m);
 

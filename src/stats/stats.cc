@@ -6,6 +6,10 @@
 #include <limits>
 #include <sstream>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #include "util/strutil.hh"
 
 namespace gest {
@@ -28,6 +32,31 @@ nowUs()
     static const Clock::time_point epoch = Clock::now();
     return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
         .count();
+}
+
+void
+updateProcessGauges()
+{
+    // Resolved once; the registry guarantees stable references.
+    static Gauge& uptime = StatsRegistry::instance().gauge(
+        "process.uptime_seconds", "seconds since process start");
+    static Gauge& rss = StatsRegistry::instance().gauge(
+        "process.rss_bytes", "resident set size in bytes");
+    uptime.set(nowUs() / 1e6);
+
+    std::uint64_t rss_bytes = 0;
+#if defined(__linux__)
+    if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+        unsigned long long total_pages = 0, resident_pages = 0;
+        if (std::fscanf(statm, "%llu %llu", &total_pages,
+                        &resident_pages) == 2)
+            rss_bytes = resident_pages *
+                        static_cast<std::uint64_t>(
+                            sysconf(_SC_PAGESIZE));
+        std::fclose(statm);
+    }
+#endif
+    rss.set(static_cast<double>(rss_bytes));
 }
 
 namespace {

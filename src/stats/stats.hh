@@ -54,6 +54,17 @@ enabled()
 /** Monotonic microseconds since an arbitrary process-wide epoch. */
 double nowUs();
 
+/**
+ * Refresh the process self-observation gauges:
+ * `process.uptime_seconds` (time since the stats clock's epoch, i.e.
+ * effectively process start) and `process.rss_bytes` (resident set
+ * size from /proc/self/statm; 0 where that file does not exist).
+ * Called at scrape time by the /metrics endpoint and before the
+ * end-of-run stats dump — the values are sampled, not maintained, so
+ * nothing ticks on the hot path.
+ */
+void updateProcessGauges();
+
 /** A monotonically increasing event count. */
 class Counter
 {

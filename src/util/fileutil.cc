@@ -96,6 +96,19 @@ listFiles(const std::string& dir)
     return out;
 }
 
+std::vector<std::string>
+listDirs(const std::string& dir)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_directory())
+            out.push_back(entry.path().filename().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 void
 removeAll(const std::string& path)
 {

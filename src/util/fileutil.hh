@@ -41,6 +41,9 @@ bool dirExists(const std::string& path);
 /** List regular-file names (not paths) inside a directory, sorted. */
 std::vector<std::string> listFiles(const std::string& dir);
 
+/** List subdirectory names (not paths) inside a directory, sorted. */
+std::vector<std::string> listDirs(const std::string& dir);
+
 /** Remove a file or directory tree; no error if absent. */
 void removeAll(const std::string& path);
 

@@ -549,7 +549,7 @@ TEST_F(CliTest, UsageAndReadmeAgreeOnTheCommandSet)
     ASSERT_FALSE(from_usage.empty());
     for (const char* required :
          {"run", "probe", "attribute", "report", "explain", "stats",
-          "fittest", "top", "verify", "compare", "platforms",
+          "fittest", "top", "runs", "verify", "compare", "platforms",
           "classes"})
         EXPECT_EQ(from_usage.count(required), 1u) << required;
 

@@ -223,6 +223,18 @@ def check_sse(raw):
             fields[key] = value.strip()
         if fields.get("event") == "end":
             continue
+        if fields.get("event") == "alert":
+            # Health-watchdog frames: keyless (no id line — a resumed
+            # client must get them redelivered) JSON alert objects.
+            if "id" in fields:
+                fail(f"SSE alert frame carries an id: {block!r}")
+            try:
+                alert = json.loads(fields.get("data", ""))
+            except json.JSONDecodeError as err:
+                fail(f"SSE alert data is not JSON: {err}")
+            if "rule" not in alert:
+                fail(f"SSE alert lacks 'rule': {alert!r}")
+            continue
         if fields.get("event") != "generation":
             fail(f"SSE block with unexpected event: {fields!r}")
         for key in ("id", "data"):

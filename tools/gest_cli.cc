@@ -13,6 +13,8 @@
  *   gest compare <a> <b> [...] cross-run result + performance deltas
  *   gest stats <run_dir>       per-generation statistics of a saved run
  *   gest fittest <run_dir>     print the fittest individual's source
+ *   gest runs <workspace>      index every run in a workspace and
+ *                              screen cross-run regressions
  *   gest platforms             list the bundled platform presets
  *   gest classes               list measurement and fitness classes
  *
@@ -47,6 +49,7 @@
 #include "output/stats.hh"
 #include "output/top.hh"
 #include "platform/platform.hh"
+#include "registry/registry.hh"
 #include "provenance/compare.hh"
 #include "provenance/verify.hh"
 #include "signal/analysis.hh"
@@ -83,6 +86,8 @@ usage()
         "  gest fittest <run_dir>       print the fittest individual\n"
         "  gest top <url|run_dir>       live dashboard of a run "
         "(telemetry server or files)\n"
+        "  gest runs <workspace>        index every run in a "
+        "workspace; screen regressions\n"
         "  gest verify <run_dir>        replay a sealed run against "
         "its manifest\n"
         "  gest compare <baseline> <candidate> [...]\n"
@@ -102,6 +107,13 @@ usage()
         "port 0 = ephemeral)\n"
         "options for top: --interval SECONDS (refresh period, default "
         "1) | --once (single frame)\n"
+        "                 --fleet (target is a workspace of runs; "
+        "multi-run view)\n"
+        "options for runs: --filter k=v (narrow the view; repeatable; "
+        "prefix match)\n"
+        "                  --baseline <run> (screen the baseline's "
+        "config-hash cohort; exit 1 on regression)\n"
+        "                  --json (machine-readable output)\n"
         "options for report: --json (machine-readable output)\n"
         "options for verify: --quick (manifest + checksums only, no "
         "replay)\n"
@@ -466,11 +478,15 @@ cmdTop(const std::string& target, double interval_s, bool once)
         (startsWith(target, "http://") ||
          target.find(':') != std::string::npos);
 
+    // File targets refresh through the incremental poller: only the
+    // history.csv bytes appended since the previous frame are parsed.
+    output::TopFilePoller poller(target);
+
     bool had_success = false;
     for (;;) {
         output::TopSnapshot snapshot;
         const bool ok = is_url ? output::fetchTopSnapshot(target, snapshot)
-                               : output::loadTopSnapshot(target, snapshot);
+                               : poller.poll(snapshot);
         if (!ok) {
             if (had_success) {
                 // The server went away mid-watch: the run finished and
@@ -502,6 +518,145 @@ cmdTop(const std::string& target, double interval_s, bool once)
         std::this_thread::sleep_for(std::chrono::milliseconds(
             static_cast<long>(interval_s * 1000.0)));
     }
+}
+
+/**
+ * `gest top --fleet <workspace>`: one compact row per run in the
+ * workspace. Running runs that serve telemetry are refreshed live over
+ * HTTP; everything else reads from the registry scan (files). The view
+ * exits once no run is left running.
+ */
+int
+cmdTopFleet(const std::string& workspace, double interval_s, bool once)
+{
+    for (;;) {
+        const std::vector<registry::RunEntry> entries =
+            registry::scanWorkspace(workspace);
+
+        std::string frame = "gest top — fleet " + workspace + "\n";
+        char line[512];
+        std::snprintf(line, sizeof(line),
+                      "%-24s %-10s %-11s %12s %7s  %s\n", "run", "state",
+                      "progress", "best", "alerts", "source");
+        frame += line;
+
+        bool any_running = false;
+        unsigned long long total_alerts = 0;
+        std::vector<std::string> alert_lines;
+        for (const registry::RunEntry& entry : entries) {
+            std::string state = entry.state;
+            int done = entry.generationsCompleted;
+            double best = entry.bestFitness;
+            unsigned long long alerts =
+                static_cast<unsigned long long>(entry.alerts);
+            std::string source = "files";
+            if (entry.state == "running" && !entry.listen.empty()) {
+                output::TopSnapshot snap;
+                if (output::fetchTopSnapshot(entry.listen, snap)) {
+                    state = snap.state;
+                    done = snap.generation + 1;
+                    best = snap.bestFitness;
+                    if (snap.alertsRaised >= 0)
+                        alerts = static_cast<unsigned long long>(
+                            snap.alertsRaised);
+                    for (const std::string& alert : snap.alertLines)
+                        alert_lines.push_back(entry.name + ": " + alert);
+                    source = "live " + entry.listen;
+                }
+            }
+            if (state == "running")
+                any_running = true;
+            total_alerts += alerts;
+
+            char progress[32];
+            if (entry.generations > 0)
+                std::snprintf(progress, sizeof(progress), "%d/%d", done,
+                              entry.generations);
+            else
+                std::snprintf(progress, sizeof(progress), "%d/?", done);
+            std::snprintf(line, sizeof(line),
+                          "%-24s %-10s %-11s %12.6f %7llu  %s\n",
+                          entry.name.c_str(), state.c_str(), progress,
+                          best, alerts, source.c_str());
+            frame += line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%zu run(s), %s, %llu alert(s)\n", entries.size(),
+                      any_running ? "fleet active" : "fleet idle",
+                      total_alerts);
+        frame += line;
+        if (alert_lines.size() > 5)
+            alert_lines.erase(alert_lines.begin(),
+                              alert_lines.end() - 5);
+        for (const std::string& alert : alert_lines)
+            frame += "  " + alert + "\n";
+
+        if (once) {
+            std::printf("%s", frame.c_str());
+            return 0;
+        }
+        std::printf("\033[H\033[J%s(refresh %.1fs — ctrl-c to quit)\n",
+                    frame.c_str(), interval_s);
+        std::fflush(stdout);
+        if (!any_running) {
+            std::printf("fleet idle; all runs finished.\n");
+            return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<long>(interval_s * 1000.0)));
+    }
+}
+
+int
+cmdRuns(const std::string& workspace,
+        const std::vector<std::string>& filters, bool json,
+        const char* baseline)
+{
+    const std::vector<registry::RunEntry> all =
+        registry::scanWorkspace(workspace);
+    const std::string csv_path =
+        registry::writeRegistry(workspace, all);
+    inform("registry written to ", csv_path, " (+ registry.json)");
+
+    // Filters narrow the printed view only; the sealed registry always
+    // indexes the whole workspace.
+    std::vector<registry::RunEntry> view;
+    for (const registry::RunEntry& entry : all) {
+        bool keep = true;
+        for (const std::string& filter : filters) {
+            const std::size_t eq = filter.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("--filter needs key=value, got '", filter, "'");
+            if (!registry::matchesFilter(entry, filter.substr(0, eq),
+                                         filter.substr(eq + 1))) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            view.push_back(entry);
+    }
+
+    if (baseline) {
+        const std::vector<registry::BaselineComparison> rows =
+            registry::screenBaseline(workspace, baseline, all);
+        if (json)
+            std::printf("%s",
+                        registry::formatBaselineJson(rows).c_str());
+        else
+            std::printf("%s%s",
+                        registry::formatRunsTable(view).c_str(),
+                        registry::formatBaselineTable(rows).c_str());
+        for (const registry::BaselineComparison& row : rows)
+            if (row.fitnessRegression)
+                return 1;
+        return 0;
+    }
+    std::printf("%s",
+                json ? registry::formatRegistryJson(workspace, view)
+                           .c_str()
+                     : registry::formatRunsTable(view).c_str());
+    return 0;
 }
 
 int
@@ -583,10 +738,13 @@ try {
     const char* listen_override = nullptr;
     const char* interval_arg = nullptr;
     const char* top_arg = nullptr;
+    const char* baseline_arg = nullptr;
+    std::vector<std::string> filters;
     bool want_trace = false;
     bool want_json = false;
     bool want_once = false;
     bool want_quick = false;
+    bool want_fleet = false;
     for (int i = 2; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--quiet") == 0) {
@@ -625,6 +783,16 @@ try {
             if (i + 1 >= argc)
                 fatal("--top requires a value");
             top_arg = argv[++i];
+        } else if (std::strcmp(arg, "--filter") == 0) {
+            if (i + 1 >= argc)
+                fatal("--filter requires key=value");
+            filters.emplace_back(argv[++i]);
+        } else if (std::strcmp(arg, "--baseline") == 0) {
+            if (i + 1 >= argc)
+                fatal("--baseline requires a run name or path");
+            baseline_arg = argv[++i];
+        } else if (std::strcmp(arg, "--fleet") == 0) {
+            want_fleet = true;
         } else if (std::strcmp(arg, "--once") == 0) {
             want_once = true;
         } else if (std::strcmp(arg, "--json") == 0) {
@@ -646,8 +814,12 @@ try {
             interval_arg ? parseDouble(interval_arg, "--interval") : 1.0;
         if (interval_s < 0.1)
             interval_s = 0.1;
+        if (want_fleet)
+            return cmdTopFleet(positional[0], interval_s, want_once);
         return cmdTop(positional[0], interval_s, want_once);
     }
+    if (command == "runs" && positional.size() == 1)
+        return cmdRuns(positional[0], filters, want_json, baseline_arg);
     if (command == "probe" && positional.size() == 2)
         return cmdProbe(positional[0], positional[1], out_override);
     if (command == "attribute" && positional.size() == 2)
